@@ -1,0 +1,328 @@
+(* ksplice-tool: command-line front end mirroring the paper's §5 workflow:
+
+     ksplice-tool create --source DIR --patch FILE -o UPDATE
+     ksplice-tool inspect UPDATE
+     ksplice-tool list-cves
+     ksplice-tool demo --cve ID
+
+   create/inspect operate on real files (source directories, unified
+   diffs, binary update files); demo boots the evaluation kernel in-process
+   and walks one corpus CVE end to end, since a live kernel cannot
+   meaningfully live in a file. *)
+
+module Tree = Patchfmt.Source_tree
+module Diff = Patchfmt.Diff
+module Update = Ksplice.Update
+module Create = Ksplice.Create
+module Apply = Ksplice.Apply
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* load a source tree from a directory: every .c/.s file, with paths
+   relative to the root *)
+let read_tree root =
+  let rec walk acc dir =
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then walk acc path
+        else if
+          Filename.check_suffix entry ".c" || Filename.check_suffix entry ".s"
+        then begin
+          let rel =
+            String.sub path
+              (String.length root + 1)
+              (String.length path - String.length root - 1)
+          in
+          (rel, read_file path) :: acc
+        end
+        else acc)
+      acc (Sys.readdir dir)
+  in
+  Tree.of_list (walk [] root)
+
+let cmd_create source patch_file output id desc =
+  let tree = read_tree source in
+  let patch_text = read_file patch_file in
+  match Diff.parse patch_text with
+  | Error e ->
+    Printf.eprintf "error: cannot parse patch: %s\n" e;
+    exit 1
+  | Ok patch -> (
+    match
+      Create.create { source = tree; patch; update_id = id; description = desc }
+    with
+    | Error e ->
+      Format.eprintf "error: %a@." Create.pp_error e;
+      exit 1
+    | Ok { update; diffs } ->
+      Update.write_file output update;
+      Printf.printf "Ksplice update written to %s\n" output;
+      List.iter
+        (fun (d : Ksplice.Prepost.unit_diff) ->
+          Format.printf "%a@." Ksplice.Prepost.pp_unit_diff d)
+        diffs)
+
+let cmd_inspect path =
+  let u = Update.read_file path in
+  Printf.printf "update:      %s\n" u.update_id;
+  Printf.printf "description: %s\n" u.description;
+  Printf.printf "patched units (%d):\n" (List.length u.patched_units);
+  List.iter (fun f -> Printf.printf "  %s\n" f) u.patched_units;
+  Printf.printf "replaced functions (%d):\n"
+    (List.length u.replaced_functions);
+  List.iter
+    (fun (unit_name, f) -> Printf.printf "  %-28s (%s)\n" f unit_name)
+    u.replaced_functions;
+  let section_bytes (o : Objfile.t) =
+    List.fold_left
+      (fun a (s : Objfile.Section.t) -> a + s.size)
+      0 o.sections
+  in
+  Printf.printf "primary module: %d sections, %d bytes\n"
+    (List.length u.primary.sections)
+    (section_bytes u.primary);
+  Printf.printf "helper modules: %d (%d bytes total)\n"
+    (List.length u.helpers)
+    (List.fold_left (fun a h -> a + section_bytes h) 0 u.helpers)
+
+let cmd_objdump path =
+  let data = read_file path in
+  if String.length data >= 5 && String.sub data 0 5 = "KSPL1" then begin
+    let u = Update.of_bytes (Bytes.of_string data) in
+    Printf.printf "update %s\n\n=== primary module ===\n" u.update_id;
+    Format.printf "%a@." Objfile.Objdump.pp u.primary;
+    List.iter
+      (fun h ->
+        Printf.printf "\n=== helper (pre) module: %s ===\n" h.Objfile.unit_name;
+        Format.printf "%a@." Objfile.Objdump.pp h)
+      u.helpers
+  end
+  else
+    match Objfile.of_bytes (Bytes.of_string data) with
+    | o -> Format.printf "%a@." Objfile.Objdump.pp o
+    | exception Failure m ->
+      Printf.eprintf "error: not an update or object file: %s\n" m;
+      exit 1
+
+let cmd_export dir =
+  (* write the evaluation kernel's source tree plus every CVE patch, so
+     the file-based create workflow can be driven by hand:
+       ksplice-tool export --dir /tmp/ws
+       ksplice-tool create --source /tmp/ws/src \
+         --patch /tmp/ws/patches/CVE-2006-2451.patch -o u.ksplice *)
+  let base = Corpus.Base_kernel.tree () in
+  let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  mkdir dir;
+  let src_dir = Filename.concat dir "src" in
+  mkdir src_dir;
+  mkdir (Filename.concat src_dir "kernel");
+  List.iter
+    (fun (path, contents) ->
+      let oc = open_out (Filename.concat src_dir path) in
+      output_string oc contents;
+      close_out oc)
+    (Tree.bindings base);
+  let patch_dir = Filename.concat dir "patches" in
+  mkdir patch_dir;
+  List.iter
+    (fun (cve : Corpus.Cve.t) ->
+      let oc =
+        open_out (Filename.concat patch_dir (cve.id ^ ".patch"))
+      in
+      output_string oc (Diff.to_string (Corpus.Cve.hot_patch cve base));
+      close_out oc)
+    Corpus.Cve.all;
+  Printf.printf "exported kernel source to %s and %d patches to %s\n"
+    src_dir (List.length Corpus.Cve.all) patch_dir
+
+let cmd_list_cves () =
+  Printf.printf "%-16s %-6s %-20s %s\n" "CVE ID" "custom" "file" "description";
+  List.iter
+    (fun (c : Corpus.Cve.t) ->
+      Printf.printf "%-16s %-6s %-20s %s\n" c.id
+        (match c.custom with
+         | Some _ -> "yes"
+         | None -> "no")
+        c.file
+        (if String.length c.desc > 60 then String.sub c.desc 0 57 ^ "..."
+         else c.desc))
+    Corpus.Cve.all
+
+let cmd_demo cve_id =
+  match Corpus.Cve.find cve_id with
+  | None ->
+    Printf.eprintf "error: unknown CVE %s (try list-cves)\n" cve_id;
+    exit 1
+  | Some cve ->
+    Printf.printf "== %s: %s\n\n" cve.id cve.desc;
+    Printf.printf "[1] booting the kernel (distro-style build)...\n";
+    let b = Corpus.Boot.boot () in
+    let exploit = Corpus.Exploits.find cve.id in
+    (match exploit with
+     | Some e ->
+       (* prove the vulnerability on a throwaway kernel: exploiting the
+          real one first would leave corrupted state behind — a patch
+          cannot un-compromise a kernel (§7.2) *)
+       let sacrificial = Corpus.Boot.boot () in
+       let r = e.run sacrificial in
+       Printf.printf
+         "[2] exploit '%s' on a sacrificial kernel: %s (%s)\n" e.name
+         (if r.succeeded then "SUCCEEDS" else "fails")
+         r.detail
+     | None -> Printf.printf "[2] no exploit recorded for this CVE\n");
+    Printf.printf "[3] ksplice-create: building pre and post, diffing...\n";
+    let base = Corpus.Base_kernel.tree () in
+    let patch = Corpus.Cve.hot_patch cve base in
+    (match
+       Create.create
+         { source = base; patch; update_id = cve.id; description = cve.desc }
+     with
+     | Error e ->
+       Format.eprintf "create failed: %a@." Create.pp_error e;
+       exit 1
+     | Ok { update; diffs } ->
+       List.iter
+         (fun (d : Ksplice.Prepost.unit_diff) ->
+           Printf.printf "    %s: replacing %s\n" d.unit_name
+             (String.concat ", " d.changed_functions))
+         diffs;
+       Printf.printf "[4] ksplice-apply: run-pre matching, stop_machine, \
+                      trampolines...\n";
+       let mgr = Apply.init b.machine in
+       (match Apply.apply mgr update with
+        | Error e ->
+          Format.eprintf "apply failed: %a@." Apply.pp_error e;
+          exit 1
+        | Ok a ->
+          Printf.printf "    applied; simulated pause %.3f ms; %d \
+                         trampoline(s)\n"
+            (float_of_int a.pause_ns /. 1e6)
+            (List.length a.saved));
+       (match exploit with
+        | Some e ->
+          let r = e.run b in
+          Printf.printf "[5] exploit against the patched kernel: %s (%s)\n"
+            (if r.succeeded then "STILL WORKS - BUG" else "blocked")
+            r.detail
+        | None -> ());
+       let stress = Corpus.Stress.run b ~threads:2 ~iterations:10 in
+       Printf.printf "[6] stress test: %s\n"
+         (if stress.ok then "passed" else "FAILED");
+       (match Apply.undo mgr cve.id with
+        | Ok () -> Printf.printf "[7] ksplice-undo: original code restored\n"
+        | Error e -> Format.printf "[7] undo failed: %a@." Apply.pp_error e);
+       (match exploit with
+        | Some e ->
+          let r = e.run b in
+          Printf.printf "[8] exploit after undo: %s (the hole is back)\n"
+            (if r.succeeded then "succeeds" else "fails")
+        | None -> ());
+       Printf.printf "\nDone.\n")
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let create_cmd =
+  let source =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "source" ] ~docv:"DIR" ~doc:"Source of the running kernel.")
+  in
+  let patch =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "patch" ] ~docv:"FILE" ~doc:"Unified diff to convert.")
+  in
+  let output =
+    Arg.(
+      value & opt string "update.ksplice"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output update file.")
+  in
+  let id =
+    Arg.(
+      value & opt string "update"
+      & info [ "id" ] ~docv:"ID" ~doc:"Update identifier.")
+  in
+  let desc =
+    Arg.(
+      value & opt string "" & info [ "m" ] ~docv:"TEXT" ~doc:"Description.")
+  in
+  Cmd.v
+    (Cmd.info "create" ~doc:"Construct a hot update from source and a patch")
+    Term.(
+      const (fun v a b c d e -> setup_logs v; cmd_create a b c d e)
+      $ verbose_t $ source $ patch $ output $ id $ desc)
+
+let inspect_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"UPDATE" ~doc:"Update file.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show the contents of an update file")
+    Term.(const cmd_inspect $ path)
+
+let objdump_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"SELF object file or Ksplice update file.")
+  in
+  Cmd.v
+    (Cmd.info "objdump" ~doc:"Disassemble an object file or update")
+    Term.(const cmd_objdump $ path)
+
+let export_cmd =
+  let dir =
+    Arg.(
+      value & opt string "ksplice-workspace"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Destination directory.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write the evaluation kernel source and all CVE patches to disk")
+    Term.(const cmd_export $ dir)
+
+let list_cves_cmd =
+  Cmd.v
+    (Cmd.info "list-cves" ~doc:"List the evaluation CVE corpus")
+    Term.(const cmd_list_cves $ const ())
+
+let demo_cmd =
+  let cve =
+    Arg.(
+      value & opt string "CVE-2006-2451"
+      & info [ "cve" ] ~docv:"ID" ~doc:"Corpus CVE to demonstrate.")
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Boot the evaluation kernel and hot-patch one CVE end to end")
+    Term.(
+      const (fun v c -> setup_logs v; cmd_demo c) $ verbose_t $ cve)
+
+let () =
+  let doc = "Ksplice reproduction: rebootless kernel updates" in
+  let info = Cmd.info "ksplice-tool" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
+            demo_cmd ]))

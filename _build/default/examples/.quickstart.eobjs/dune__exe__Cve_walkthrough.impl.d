@@ -1,0 +1,1 @@
+examples/cve_walkthrough.ml: Array Corpus Format Kernel Ksplice List Patchfmt Printf String Sys

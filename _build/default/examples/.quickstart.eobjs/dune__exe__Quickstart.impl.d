@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Kbuild Kernel Klink Ksplice List Minic Option Patchfmt Printf String

@@ -1,0 +1,1 @@
+examples/shadow_update.ml: Corpus Format Kernel Ksplice Option Printf

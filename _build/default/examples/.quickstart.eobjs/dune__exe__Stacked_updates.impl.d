@@ -1,0 +1,1 @@
+examples/stacked_updates.ml: Corpus Format Kernel Klink Ksplice List Option Patchfmt Printf String

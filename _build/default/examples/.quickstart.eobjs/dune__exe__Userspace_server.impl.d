@@ -1,0 +1,1 @@
+examples/userspace_server.ml: Format Int32 Kbuild Kernel Klink Ksplice Minic Option Patchfmt Printf

@@ -1,0 +1,1 @@
+examples/userspace_server.mli:

@@ -1,0 +1,105 @@
+(* Stacked updates (paper §5.4): patching a previously-patched kernel.
+
+     dune exec examples/stacked_updates.exe
+
+   The second update's pre source is the previously-patched source, and
+   run-pre matching compares its pre code against the first update's
+   replacement code in module memory — not against the original kernel
+   text. Undo unwinds in reverse order. *)
+
+module Tree = Patchfmt.Source_tree
+module Diff = Patchfmt.Diff
+module Apply = Ksplice.Apply
+module Create = Ksplice.Create
+module Machine = Kernel.Machine
+
+let replace old_s new_s s =
+  let rec find i =
+    if i + String.length old_s > String.length s then
+      failwith ("pattern not found: " ^ old_s)
+    else if String.sub s i (String.length old_s) = old_s then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ new_s
+  ^ String.sub s (i + String.length old_s)
+      (String.length s - i - String.length old_s)
+
+let edit tree path f = Tree.add tree path (f (Option.get (Tree.find tree path)))
+
+let mk_update ~id ~from ~to_ =
+  match
+    Create.create
+      { source = from; patch = Diff.diff_trees from to_; update_id = id;
+        description = id }
+  with
+  | Ok c -> c.update
+  | Error e -> Format.kasprintf failwith "create %s: %a" id Create.pp_error e
+
+let () =
+  print_endline "== stacked updates ==";
+  let b = Corpus.Boot.boot () in
+  let call name args =
+    let sym = Option.get (Klink.Image.lookup_global b.image name) in
+    match Machine.call_function b.machine ~addr:sym.addr ~args with
+    | Ok v -> v
+    | Error f -> Format.kasprintf failwith "%s: %a" name Machine.pp_fault f
+  in
+  let mgr = Apply.init b.machine in
+  Printf.printf "boot:     sys_sched_nice(-30) = %ld\n"
+    (call "sys_sched_nice" [ -30l ]);
+
+  (* update 1: clamp floor to -10 *)
+  let base = Corpus.Base_kernel.tree () in
+  let tree1 =
+    edit base "kernel/misc.c"
+      (replace "static int nice_floor = -20;" "static int nice_floor = -20;")
+  in
+  let tree1 =
+    edit tree1 "kernel/misc.c"
+      (replace "  if (n < nice_floor)\n    n = nice_floor;"
+         "  if (n < -10)\n    n = -10;")
+  in
+  let u1 = mk_update ~id:"nice-floor-1" ~from:base ~to_:tree1 in
+  (match Apply.apply mgr u1 with
+   | Ok _ -> ()
+   | Error e -> Format.kasprintf failwith "apply u1: %a" Apply.pp_error e);
+  Printf.printf "update 1: sys_sched_nice(-30) = %ld (floor now -10)\n"
+    (call "sys_sched_nice" [ -30l ]);
+
+  (* update 2 is a diff against the previously-patched source; its pre
+     code is matched against update 1's replacement code *)
+  let tree2 =
+    edit tree1 "kernel/misc.c"
+      (replace "  if (n < -10)\n    n = -10;" "  if (n < -5)\n    n = -5;")
+  in
+  let u2 = mk_update ~id:"nice-floor-2" ~from:tree1 ~to_:tree2 in
+  (match Apply.apply mgr u2 with
+   | Ok a ->
+     List.iter
+       (fun (r : Apply.replacement) ->
+         Printf.printf
+           "update 2: %s matched at %#x (inside update 1's module, not \
+            kernel text)\n"
+           r.r_fn r.r_old_addr)
+       a.replacements
+   | Error e -> Format.kasprintf failwith "apply u2: %a" Apply.pp_error e);
+  Printf.printf "update 2: sys_sched_nice(-30) = %ld (floor now -5)\n"
+    (call "sys_sched_nice" [ -30l ]);
+
+  (* unwinding: only the top of the stack may be reversed *)
+  (match Apply.undo mgr "nice-floor-1" with
+   | Error (Apply.Not_topmost _) ->
+     print_endline "undo:     refusing to undo update 1 while update 2 is live"
+   | _ -> failwith "expected Not_topmost");
+  (match Apply.undo mgr "nice-floor-2" with
+   | Ok () -> ()
+   | Error e -> Format.kasprintf failwith "undo u2: %a" Apply.pp_error e);
+  Printf.printf "undo 2:   sys_sched_nice(-30) = %ld (back to -10)\n"
+    (call "sys_sched_nice" [ -30l ]);
+  (match Apply.undo mgr "nice-floor-1" with
+   | Ok () -> ()
+   | Error e -> Format.kasprintf failwith "undo u1: %a" Apply.pp_error e);
+  Printf.printf "undo 1:   sys_sched_nice(-30) = %ld (original)\n"
+    (call "sys_sched_nice" [ -30l ]);
+  print_endline "done."

@@ -1,0 +1,1 @@
+lib/asm/assembler.ml: Buffer Bytes Format Frag Hashtbl Int32 List Objfile Scanf String Vmisa

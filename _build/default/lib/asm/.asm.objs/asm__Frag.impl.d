@@ -1,0 +1,1 @@
+lib/asm/frag.ml: Array Bytes Format Hashtbl Int32 List Objfile String Vmisa

@@ -1,0 +1,1 @@
+lib/asm/frag.mli: Bytes Objfile Vmisa

@@ -1,0 +1,41 @@
+(** Textual assembler for [.s] files.
+
+    The kernel's entry path (the analogue of the paper's [ia32entry.S]) is
+    written in this syntax; Ksplice handles patches to it "using the same
+    techniques and code that handle patches to pure C functions" (§6.3),
+    which requires assembly sources to flow through the same object-file
+    pipeline as compiled C.
+
+    Syntax summary (one statement per line, [;]/[#] start comments):
+    {v
+    .text | .data | .rodata | .bss
+    .global NAME           ; default binding is local
+    .align N
+    .word INT | .word SYM | .word SYM+INT
+    .space N
+    .asciz "..."
+    NAME:                  ; labels starting with .L are assembly-local
+    mov r0, 42 | mov r0, sym | mov r0, r1
+    loadw r0, [r1+4] | loadb | loadh ; storew [r1+4], r0 | ...
+    loadw r0, [sym] | storew [sym], r0
+    add|sub|mul|div|mod|and|or|xor|shl|shr|sar rd, rs
+    addi rd, imm ; cmp rd, rs ; cmpi rd, imm ; neg rd ; not rd
+    sete|setne|setl|setge|setg|setle rd
+    jmp L ; je|jne|jl|jge|jg|jle L ; call L   ; L may be extern
+    callr rd ; ret ; push rd ; pop rd
+    sext8|sext16|zext8|zext16 rd ; int N ; hlt ; nop
+    v} *)
+
+exception Error of { line : int; msg : string }
+
+(** [assemble ~unit_name ~function_sections src] assembles [src].
+
+    With [function_sections] false, text goes into a single [.text] section
+    (and data into [.data] etc.). With it true, each non-local text label
+    starts its own [.text.<name>] section and each data label its own
+    [.data.<name>] / [.rodata.<name>] / [.bss.<name>] section — the
+    assembler-level analogue of [-ffunction-sections -fdata-sections].
+
+    @raise Error on syntax or semantic errors. *)
+val assemble :
+  unit_name:string -> function_sections:bool -> string -> Objfile.t

@@ -1,0 +1,220 @@
+module Isa = Vmisa.Isa
+module Reloc = Objfile.Reloc
+
+type item =
+  | I of Isa.insn
+  | I_reloc of Isa.insn * Reloc.kind * string * int32
+  | Jump of Isa.jump_class * string
+  | Lbl of string
+  | Align of int
+  | Raw of Bytes.t
+  | Word_reloc of string * int32
+
+type t = { mutable items : item list (* reversed *) }
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let create () = { items = [] }
+let add t i = t.items <- i :: t.items
+let insn t i = add t (I i)
+
+let insn_reloc t i kind sym addend =
+  (match Isa.imm_field i, Isa.pc_rel i with
+   | None, None ->
+     invalid_arg "Frag.insn_reloc: instruction has no relocatable field"
+   | _ -> ());
+  add t (I_reloc (i, kind, sym, addend))
+
+let long_jump_insn cls =
+  match cls with
+  | Isa.Cjmp -> Isa.Jmp 0l
+  | Isa.Cjcc c -> Isa.Jcc (c, 0l)
+  | Isa.Ccall -> Isa.Call 0l
+
+let jump_reloc t cls sym =
+  add t (I_reloc (long_jump_insn cls, Reloc.Pc32, sym, -4l))
+
+let jump t cls label = add t (Jump (cls, label))
+
+let label t name =
+  let exists =
+    List.exists (function Lbl n -> String.equal n name | _ -> false) t.items
+  in
+  if exists then invalid_arg ("Frag.label: duplicate label " ^ name);
+  add t (Lbl name)
+
+let align t n =
+  if n land (n - 1) <> 0 || n <= 0 then invalid_arg "Frag.align";
+  add t (Align n)
+
+let bytes t b = add t (Raw b)
+let string t s = add t (Raw (Bytes.of_string s))
+
+let word t v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  add t (Raw b)
+
+let word_reloc t sym addend = add t (Word_reloc (sym, addend))
+
+let zeros t n = add t (Raw (Bytes.make n '\000'))
+
+type image = {
+  data : Bytes.t;
+  relocs : Objfile.Reloc.t list;
+  labels : (string * int) list;
+}
+
+let fits_i8 d = d >= -128 && d <= 127
+
+(* Greedy no-op padding using the widest available no-op sequences. *)
+let pad_nops buf pos n =
+  let rec go pos n =
+    if n >= 3 then begin
+      ignore (Isa.encode buf pos (Isa.Nop 3) : int);
+      go (pos + 3) (n - 3)
+    end
+    else if n = 2 then ignore (Isa.encode buf pos (Isa.Nop 2) : int)
+    else if n = 1 then ignore (Isa.encode buf pos (Isa.Nop 1) : int)
+  in
+  go pos n
+
+let assemble t ~text =
+  let items = Array.of_list (List.rev t.items) in
+  let n = Array.length items in
+  (* short.(i) is the current relaxation state of Jump items. *)
+  let short = Array.make n false in
+  let sizes = Array.make n 0 in
+  let offsets = Array.make n 0 in
+  let compute_layout () =
+    let pos = ref 0 in
+    for i = 0 to n - 1 do
+      offsets.(i) <- !pos;
+      let sz =
+        match items.(i) with
+        | I insn -> Isa.length insn
+        | I_reloc (insn, _, _, _) -> Isa.length insn
+        | Jump (Isa.Ccall, _) -> 5
+        | Jump (_, _) -> if short.(i) then 2 else 5
+        | Lbl _ -> 0
+        | Align a -> (a - (!pos mod a)) mod a
+        | Raw b -> Bytes.length b
+        | Word_reloc _ -> 4
+      in
+      sizes.(i) <- sz;
+      pos := !pos + sz
+    done;
+    !pos
+  in
+  let label_offsets () =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri
+      (fun i it ->
+        match it with Lbl name -> Hashtbl.replace tbl name offsets.(i) | _ -> ())
+      items;
+    tbl
+  in
+  (* Relaxation: start long, shrink while displacements fit. *)
+  let total = ref (compute_layout ()) in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed && !iters < 100 do
+    changed := false;
+    incr iters;
+    let labels = label_offsets () in
+    Array.iteri
+      (fun i it ->
+        match it with
+        | Jump (Isa.Ccall, _) -> ()
+        | Jump (_, name) when not short.(i) ->
+          (match Hashtbl.find_opt labels name with
+           | None -> err "undefined jump target %s" name
+           | Some target ->
+             let disp = target - (offsets.(i) + 2) in
+             if fits_i8 disp then begin
+               short.(i) <- true;
+               changed := true
+             end)
+        | _ -> ())
+      items;
+    if !changed then total := compute_layout ()
+  done;
+  (* Verify short choices against the final layout; re-expand if an
+     alignment interaction invalidated one (then re-verify once). *)
+  let verify () =
+    let labels = label_offsets () in
+    let ok = ref true in
+    Array.iteri
+      (fun i it ->
+        match it with
+        | Jump (cls, name) when short.(i) && cls <> Isa.Ccall ->
+          let target = Hashtbl.find labels name in
+          let disp = target - (offsets.(i) + 2) in
+          if not (fits_i8 disp) then begin
+            short.(i) <- false;
+            ok := false
+          end
+        | _ -> ())
+      items;
+    !ok
+  in
+  while not (verify ()) do
+    total := compute_layout ()
+  done;
+  let labels = label_offsets () in
+  let buf = Bytes.make !total '\000' in
+  let relocs = ref [] in
+  Array.iteri
+    (fun i it ->
+      let pos = offsets.(i) in
+      match it with
+      | I insn -> ignore (Isa.encode buf pos insn : int)
+      | I_reloc (insn, kind, sym, addend) ->
+        ignore (Isa.encode buf pos insn : int);
+        let field_off =
+          match Isa.imm_field insn with
+          | Some (off, _) -> off
+          | None ->
+            (match Isa.pc_rel insn with
+             | Some (_, _, off, 4) -> off
+             | Some _ ->
+               err "relocation on short-form jump operand"
+             | None -> assert false)
+        in
+        relocs := { Reloc.offset = pos + field_off; kind; sym; addend }
+                  :: !relocs
+      | Jump (cls, name) ->
+        let target = Hashtbl.find labels name in
+        let insn =
+          if short.(i) then
+            let disp = target - (pos + 2) in
+            match cls with
+            | Isa.Cjmp -> Isa.Jmp_s disp
+            | Isa.Cjcc c -> Isa.Jcc_s (c, disp)
+            | Isa.Ccall -> assert false
+          else
+            let disp = target - (pos + 5) in
+            match cls with
+            | Isa.Cjmp -> Isa.Jmp (Int32.of_int disp)
+            | Isa.Cjcc c -> Isa.Jcc (c, Int32.of_int disp)
+            | Isa.Ccall -> Isa.Call (Int32.of_int disp)
+        in
+        ignore (Isa.encode buf pos insn : int)
+      | Lbl _ -> ()
+      | Align _ ->
+        if text then pad_nops buf pos sizes.(i)
+        (* data alignment is already zero-filled *)
+      | Raw b -> Bytes.blit b 0 buf pos (Bytes.length b)
+      | Word_reloc (sym, addend) ->
+        relocs := { Reloc.offset = pos; kind = Reloc.Abs32; sym; addend }
+                  :: !relocs)
+    items;
+  let label_list =
+    Array.to_list items
+    |> List.mapi (fun i it -> (i, it))
+    |> List.filter_map (fun (i, it) ->
+         match it with Lbl name -> Some (name, offsets.(i)) | _ -> None)
+  in
+  { data = buf; relocs = List.rev !relocs; labels = label_list }

@@ -1,0 +1,1 @@
+lib/core/apply.ml: Array Bytes Format Hashtbl Int32 Kernel Klink List Logs Minic Objfile Option Printf Result Runpre String Update Vmisa

@@ -1,0 +1,1 @@
+lib/core/apply.mli: Bytes Format Kernel Klink Runpre Update

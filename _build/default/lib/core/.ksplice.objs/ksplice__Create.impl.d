@@ -1,0 +1,1 @@
+lib/core/create.ml: Filename Format Kbuild List Minic Objfile Option Patchfmt Prepost Printf String Update

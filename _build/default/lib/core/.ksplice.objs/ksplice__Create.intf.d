@@ -1,0 +1,1 @@
+lib/core/create.mli: Format Minic Patchfmt Prepost Update

@@ -1,0 +1,1 @@
+lib/core/prepost.ml: Format List Objfile Option String

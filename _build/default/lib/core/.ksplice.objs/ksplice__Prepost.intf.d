@@ -1,0 +1,1 @@
+lib/core/prepost.mli: Format Objfile

@@ -1,0 +1,1 @@
+lib/core/repository.ml: Apply Buffer Bytes Filename Format Fun Int32 List Patchfmt String Sys Update

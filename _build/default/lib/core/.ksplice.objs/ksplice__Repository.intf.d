@@ -1,0 +1,1 @@
+lib/core/repository.mli: Apply Patchfmt Update

@@ -1,0 +1,1 @@
+lib/core/runpre.ml: Hashtbl Int32 List Objfile Option Printf String Update Vmisa

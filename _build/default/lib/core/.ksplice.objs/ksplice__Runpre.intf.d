@@ -1,0 +1,1 @@
+lib/core/runpre.mli: Hashtbl Objfile

@@ -1,0 +1,1 @@
+lib/core/source_level.ml: Filename Format Hashtbl Kbuild Klink List Minic Objfile Option Patchfmt Prepost Printf String

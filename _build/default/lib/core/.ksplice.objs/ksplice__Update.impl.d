@@ -1,0 +1,1 @@
+lib/core/update.ml: Buffer Bytes Fun Int32 List Objfile String

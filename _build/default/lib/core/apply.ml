@@ -1,0 +1,545 @@
+module Machine = Kernel.Machine
+module Image = Klink.Image
+
+let src = Logs.Src.create "ksplice.apply" ~doc:"Ksplice apply/undo"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Modlink = Klink.Modlink
+module Symbol = Objfile.Symbol
+module Section = Objfile.Section
+module Isa = Vmisa.Isa
+module Ast = Minic.Ast
+
+type replacement = {
+  r_unit : string;
+  r_fn : string;
+  r_old_addr : int;
+  r_new_addr : int;
+  r_old_size : int;
+  r_new_size : int;
+}
+
+type applied = {
+  update : Update.t;
+  replacements : replacement list;
+  saved : (int * Bytes.t) list;
+  module_ranges : (int * int) list;
+  module_image : (int * Bytes.t) list;
+  added_symbols : Image.syminfo list;
+  pause_ns : int;
+}
+
+type error =
+  | Code_mismatch of Runpre.mismatch
+  | Ambiguous_symbol of string * string * int
+  | Unresolved_symbol of string
+  | Not_quiescent of string list
+  | Function_too_small of string
+  | Hook_fault of string * Machine.fault
+  | Already_applied of string
+  | Not_applied of string
+  | Not_topmost of string
+  | Integrity of string
+
+let pp_error ppf = function
+  | Code_mismatch m ->
+    Format.fprintf ppf
+      "run-pre mismatch in %s %s at pre+%#x / run %#x: %s" m.unit_name
+      m.section m.pre_off m.run_addr m.reason
+  | Ambiguous_symbol (u, s, n) ->
+    if n = 0 then
+      Format.fprintf ppf "no matching code found for %s (%s)" s u
+    else Format.fprintf ppf "symbol %s (%s) matches %d candidates" s u n
+  | Unresolved_symbol s -> Format.fprintf ppf "unresolved symbol %s" s
+  | Not_quiescent fns ->
+    Format.fprintf ppf "functions in use after retries: %s"
+      (String.concat ", " fns)
+  | Function_too_small f ->
+    Format.fprintf ppf "function %s is too small for a jump trampoline" f
+  | Hook_fault (h, f) ->
+    Format.fprintf ppf "hook %s faulted: %a" h Machine.pp_fault f
+  | Already_applied id -> Format.fprintf ppf "update %s already applied" id
+  | Not_applied id -> Format.fprintf ppf "update %s is not applied" id
+  | Not_topmost id ->
+    Format.fprintf ppf "update %s is not the most recent update" id
+  | Integrity m -> Format.fprintf ppf "integrity check failed: %s" m
+
+type t = {
+  m : Machine.t;
+  mutable stack : applied list;  (* most recent first *)
+}
+
+let init m = { m; stack = [] }
+let machine t = t.m
+let applied t = t.stack
+
+(* --- helpers --- *)
+
+let jump_size = 5
+
+(* For a function already redirected by applied updates: the latest
+   replacement's code address (what the next pre code must match against)
+   and the original entry address (the function's enduring symbol value,
+   start of the trampoline chain). *)
+let already_redirected t (unit_name, raw_fn) =
+  let recs =
+    List.filter_map
+      (fun a ->
+        List.find_map
+          (fun r ->
+            let name, _ = Update.split_canonical r.r_fn in
+            if String.equal r.r_unit unit_name && String.equal name raw_fn
+            then Some r
+            else None)
+          a.replacements)
+      t.stack (* most recent first *)
+  in
+  match recs with
+  | [] -> None
+  | latest :: _ ->
+    let oldest = List.nth recs (List.length recs - 1) in
+    Some (latest.r_new_addr, oldest.r_old_addr)
+
+let func_candidates t name =
+  Machine.kallsyms t.m
+  |> List.filter_map (fun (s : Image.syminfo) ->
+       if String.equal s.name name && s.kind = `Func then Some s.addr
+       else None)
+
+let unique_global t name =
+  match
+    Machine.kallsyms t.m
+    |> List.filter (fun (s : Image.syminfo) ->
+         String.equal s.name name && s.binding = Symbol.Global)
+  with
+  | [ s ] -> Some s.addr
+  | _ -> None
+
+let helper_symbol_size (update : Update.t) unit_name raw_fn =
+  List.find_map
+    (fun (h : Objfile.t) ->
+      if String.equal h.unit_name unit_name then
+        List.find_map
+          (fun (s : Symbol.t) ->
+            if String.equal s.name raw_fn && Symbol.is_defined s then
+              Some s.size
+            else None)
+          h.symbols
+      else None)
+    update.helpers
+
+(* conservative §5.2 check: no live thread executes in or will return into
+   [ranges] *)
+let quiescent m ranges =
+  let in_ranges v = List.exists (fun (lo, hi) -> v >= lo && v < hi) ranges in
+  List.for_all
+    (fun (th : Machine.thread) ->
+      match th.state with
+      | Machine.Exited _ | Machine.Faulted _ -> true
+      | Machine.Runnable | Machine.Sleeping _ ->
+        (not (in_ranges th.pc))
+        &&
+        let sp = Int32.to_int th.regs.(8) in
+        let ok = ref true in
+        let a = ref sp in
+        while !ok && !a + 4 <= th.stack_hi do
+          let w = Int32.to_int (Machine.read_i32 m !a) in
+          if in_ranges w then ok := false;
+          a := !a + 4
+        done;
+        !ok)
+    (Machine.threads m)
+
+(* hook sections of the primary: (kind, reloc syms in order) *)
+let hook_syms (primary : Objfile.t) kind =
+  let prefix = Ast.hook_section kind in
+  List.concat_map
+    (fun (s : Section.t) ->
+      let matches =
+        String.length s.name >= String.length prefix
+        && String.sub s.name 0 (String.length prefix) = prefix
+        && s.kind = Section.Note
+      in
+      if matches then
+        List.map (fun (r : Objfile.Reloc.t) -> r.sym) s.relocs
+      else [])
+    primary.sections
+
+exception Fail of error
+
+let run_hooks t ~resolve (update : Update.t) kind =
+  List.iter
+    (fun sym ->
+      match resolve sym with
+      | None -> raise (Fail (Unresolved_symbol sym))
+      | Some addr -> (
+        match Machine.call_function t.m ~addr ~args:[] with
+        | Ok _ -> ()
+        | Error f -> raise (Fail (Hook_fault (sym, f)))))
+    (hook_syms update.primary kind)
+
+let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
+    ?(retry_steps = 2000) t (update : Update.t) =
+  try
+    if List.exists (fun a -> a.update.Update.update_id = update.update_id)
+         t.stack
+    then raise (Fail (Already_applied update.update_id));
+    Log.info (fun k ->
+        k "applying update %s (%d replaced functions, %d helpers)"
+          update.update_id
+          (List.length update.replaced_functions)
+          (List.length update.helpers));
+    (* 1. run-pre matching over every helper *)
+    let inference = Runpre.create_inference () in
+    let anchors = ref [] in
+    List.iter
+      (fun helper ->
+        match
+          Runpre.match_helper ~tolerance
+            ~read_run:(fun a -> Machine.read_u8 t.m a)
+            ~candidates:(func_candidates t)
+            ~already:(already_redirected t)
+            ~inference helper
+        with
+        | l ->
+          Log.debug (fun k ->
+              k "run-pre matched %s: %d functions located"
+                helper.Objfile.unit_name (List.length l));
+          List.iter
+            (fun (cname, addr) ->
+              anchors := ((helper.Objfile.unit_name, cname), addr) :: !anchors)
+            l
+        | exception Runpre.Mismatch m -> raise (Fail (Code_mismatch m))
+        | exception Runpre.Ambiguous { unit_name; symbol; matches } ->
+          raise (Fail (Ambiguous_symbol (unit_name, symbol, matches))))
+      update.helpers;
+    (* 2. load the primary module *)
+    let alloc ~size ~align = Machine.alloc_module t.m ~size ~align in
+    let m0d = Modlink.layout ~alloc update.primary in
+    let resolve name =
+      match Modlink.symbol_addr m0d name with
+      | Some a -> Some a
+      | None -> (
+        match Hashtbl.find_opt inference name with
+        | Some a -> Some a
+        | None ->
+          let raw, _ = Update.split_canonical name in
+          unique_global t raw)
+    in
+    let writes =
+      try Modlink.relocate m0d ~resolve
+      with Modlink.Load_error msg -> raise (Fail (Unresolved_symbol msg))
+    in
+    List.iter (fun (addr, bytes) -> Machine.write_bytes t.m addr bytes) writes;
+    let module_ranges =
+      List.map
+        (fun (p : Modlink.placed) -> (p.addr, p.addr + p.section.size))
+        m0d.placed
+    in
+    (* replacement code must be allowed to use privileged escapes *)
+    List.iter
+      (fun (p : Modlink.placed) ->
+        if p.section.kind = Section.Text then
+          Machine.add_privileged_range t.m (p.addr, p.addr + p.section.size))
+      m0d.placed;
+    (* module symbols join kallsyms (like insmod) *)
+    let added_symbols =
+      List.filter_map
+        (fun (name, addr) ->
+          let raw, _ = Update.split_canonical name in
+          let unit_name =
+            Option.value ~default:update.primary.unit_name
+              (List.assoc_opt name update.primary_sym_units)
+          in
+          let sym =
+            List.find_opt
+              (fun (s : Symbol.t) ->
+                String.equal s.name name && Symbol.is_defined s)
+              update.primary.symbols
+          in
+          match sym with
+          | Some s ->
+            Some
+              { Image.name = raw; addr; size = s.size; binding = s.binding;
+                kind = s.kind; unit_name }
+          | None -> None)
+        m0d.own_symbols
+    in
+    Machine.add_kallsyms t.m added_symbols;
+    (* 3. build the replacement plan *)
+    let replacements =
+      List.map
+        (fun (unit_name, cfn) ->
+          let raw, _ = Update.split_canonical cfn in
+          let old_addr =
+            match List.assoc_opt (unit_name, cfn) !anchors with
+            | Some a -> a
+            | None -> raise (Fail (Unresolved_symbol cfn))
+          in
+          let new_addr =
+            match Modlink.symbol_addr m0d cfn with
+            | Some a -> a
+            | None -> raise (Fail (Unresolved_symbol cfn))
+          in
+          let old_size =
+            match helper_symbol_size update unit_name raw with
+            | Some s when s > 0 -> s
+            | _ -> jump_size
+          in
+          let new_size =
+            match
+              List.find_opt
+                (fun (s : Symbol.t) ->
+                  String.equal s.name cfn && Symbol.is_defined s)
+                update.primary.symbols
+            with
+            | Some s -> max s.size jump_size
+            | None -> jump_size
+          in
+          if old_size < jump_size then raise (Fail (Function_too_small cfn));
+          Log.debug (fun k ->
+              k "replace %s: %#x (%d bytes) -> %#x" cfn old_addr old_size
+                new_addr);
+          { r_unit = unit_name; r_fn = cfn; r_old_addr = old_addr;
+            r_new_addr = new_addr; r_old_size = old_size;
+            r_new_size = new_size })
+        update.replaced_functions
+    in
+    (* 4. hooks before capture *)
+    run_hooks t ~resolve update Ast.Hook_pre_apply;
+    (* 5. capture the CPUs, check quiescence, insert trampolines *)
+    let guard_ranges =
+      List.map (fun r -> (r.r_old_addr, r.r_old_addr + r.r_old_size))
+        replacements
+    in
+    let saved = ref [] in
+    let insert () =
+      List.iter
+        (fun r ->
+          let orig = Machine.read_bytes t.m r.r_old_addr jump_size in
+          saved := (r.r_old_addr, orig) :: !saved;
+          let disp = r.r_new_addr - (r.r_old_addr + jump_size) in
+          let buf = Bytes.create jump_size in
+          ignore (Isa.encode buf 0 (Isa.Jmp (Int32.of_int disp)) : int);
+          Machine.write_bytes t.m r.r_old_addr buf)
+        replacements;
+      run_hooks t ~resolve update Ast.Hook_apply
+    in
+    let rec attempt n =
+      let (ok : bool), pause_ns =
+        Machine.stop_machine t.m (fun () ->
+            if quiescent t.m guard_ranges then begin
+              insert ();
+              true
+            end
+            else false)
+      in
+      if ok then pause_ns
+      else if n + 1 >= max_attempts then begin
+        (* name the offenders: which threads still hold the functions *)
+        List.iter
+          (fun (th : Machine.thread) ->
+            match th.state with
+            | Machine.Runnable | Machine.Sleeping _ ->
+              Log.info (fun k ->
+                  k "quiescence blocked by thread %d (%s): %s" th.tid
+                    th.name
+                    (String.concat " <- " (Machine.backtrace t.m th)))
+            | _ -> ())
+          (Machine.threads t.m);
+        raise
+          (Fail
+             (Not_quiescent (List.map (fun r -> r.r_fn) replacements)))
+      end
+      else begin
+        (* short delay: let the scheduler drain the functions *)
+        Log.debug (fun k ->
+            k "quiescence attempt %d failed; letting the scheduler run" n);
+        ignore (Machine.run t.m ~steps:retry_steps : int);
+        attempt (n + 1)
+      end
+    in
+    let pause_ns = attempt 0 in
+    (* 6. hooks after release *)
+    run_hooks t ~resolve update Ast.Hook_post_apply;
+    let a =
+      { update; replacements; saved = List.rev !saved; module_ranges;
+        module_image = writes; added_symbols; pause_ns }
+    in
+    t.stack <- a :: t.stack;
+    Log.info (fun k ->
+        k "update %s applied (simulated pause %d ns)" update.update_id
+          pause_ns);
+    Ok a
+  with Fail e ->
+    Log.warn (fun k -> k "apply %s failed: %a" update.update_id pp_error e);
+    Error e
+
+let undo t update_id =
+  try
+    (match t.stack with
+     | [] -> raise (Fail (Not_applied update_id))
+     | top :: rest ->
+       if not (String.equal top.update.Update.update_id update_id) then
+         if
+           List.exists
+             (fun a -> String.equal a.update.Update.update_id update_id)
+             rest
+         then raise (Fail (Not_topmost update_id))
+         else raise (Fail (Not_applied update_id));
+       (* resolution for reverse hooks: the module is loaded, so its own
+          symbols are in kallsyms *)
+       let resolve name =
+         let raw, _ = Update.split_canonical name in
+         List.find_map
+           (fun (s : Image.syminfo) ->
+             (* prefer symbols this update added *)
+             if String.equal s.name raw
+                && List.exists
+                     (fun (a : Image.syminfo) -> a.addr = s.addr)
+                     top.added_symbols
+             then Some s.addr
+             else None)
+           (Machine.kallsyms t.m)
+         |> fun r ->
+         (match r with
+          | Some _ -> r
+          | None -> (
+            match
+              Machine.kallsyms t.m
+              |> List.filter (fun (s : Image.syminfo) ->
+                   String.equal s.name raw)
+            with
+            | [ s ] -> Some s.addr
+            | _ -> None))
+       in
+       run_hooks t ~resolve top.update Ast.Hook_pre_reverse;
+       let guard_ranges =
+         List.map (fun r -> (r.r_new_addr, r.r_new_addr + r.r_new_size))
+           top.replacements
+       in
+       let rec attempt n =
+         let ok, _pause =
+           Machine.stop_machine t.m (fun () ->
+               if quiescent t.m guard_ranges then begin
+                 List.iter
+                   (fun (addr, bytes) -> Machine.write_bytes t.m addr bytes)
+                   top.saved;
+                 (try run_hooks t ~resolve top.update Ast.Hook_reverse
+                  with Fail _ as e -> raise e);
+                 true
+               end
+               else false)
+         in
+         if ok then ()
+         else if n + 1 >= 10 then
+           raise
+             (Fail
+                (Not_quiescent
+                   (List.map (fun r -> r.r_fn) top.replacements)))
+         else begin
+           ignore (Machine.run t.m ~steps:2000 : int);
+           attempt (n + 1)
+         end
+       in
+       attempt 0;
+       run_hooks t ~resolve top.update Ast.Hook_post_reverse;
+       Machine.remove_kallsyms t.m (fun s ->
+           List.exists
+             (fun (a : Image.syminfo) ->
+               a.addr = s.addr && String.equal a.name s.name)
+             top.added_symbols);
+       t.stack <- rest);
+    Ok ()
+  with Fail e -> Error e
+
+(* [verify] audits the applied stack: the topmost replacement of every
+   function owns the jump at the code location it patched, and module
+   bytes are unmodified. Note sections and bss (zero-filled at load) can
+   legitimately change at runtime (new static data is mutable!), so only
+   text sections are byte-compared. *)
+let verify t =
+  let check_replacement (r : replacement) =
+    let b = Machine.read_bytes t.m r.r_old_addr jump_size in
+    match Isa.decode_bytes b 0 with
+    | Isa.Jmp disp, len when r.r_old_addr + len + Int32.to_int disp
+                             = r.r_new_addr ->
+      Ok ()
+    | insn, _ ->
+      Error
+        (Integrity
+           (Printf.sprintf "%s: expected jmp to %#x at %#x, found %s"
+              r.r_fn r.r_new_addr r.r_old_addr (Isa.insn_to_string insn)))
+    | exception Isa.Decode_error _ ->
+      Error
+        (Integrity
+           (Printf.sprintf "%s: undecodable bytes at %#x" r.r_fn
+              r.r_old_addr))
+  in
+  (* windows legitimately rewritten after load: every trampoline site of
+     every applied update (a later update may redirect a replacement,
+     §5.4, putting its jump at the replacement's entry) *)
+  let exempt =
+    List.concat_map
+      (fun a ->
+        List.map (fun r -> (r.r_old_addr, r.r_old_addr + jump_size))
+          a.replacements)
+      t.stack
+  in
+  let exempted off = List.exists (fun (lo, hi) -> off >= lo && off < hi) exempt in
+  let check_module (a : applied) =
+    List.fold_left
+      (fun acc (addr, bytes) ->
+        Result.bind acc (fun () ->
+            (* compare only ranges that are replacement text *)
+            let is_text =
+              List.exists
+                (fun r -> r.r_new_addr >= addr
+                          && r.r_new_addr < addr + Bytes.length bytes)
+                a.replacements
+            in
+            if not is_text then Ok ()
+            else begin
+              let current =
+                Machine.read_bytes t.m addr (Bytes.length bytes)
+              in
+              let damaged = ref None in
+              Bytes.iteri
+                (fun i c ->
+                  if
+                    !damaged = None
+                    && (not (exempted (addr + i)))
+                    && Bytes.get current i <> c
+                  then damaged := Some (addr + i))
+                bytes;
+              match !damaged with
+              | None -> Ok ()
+              | Some at ->
+                Error
+                  (Integrity
+                     (Printf.sprintf
+                        "update %s: replacement code at %#x was modified"
+                        a.update.Update.update_id at))
+            end))
+      (Ok ()) a.module_image
+  in
+  (* only the topmost redirect of each function owns its entry bytes *)
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc a ->
+      Result.bind acc (fun () ->
+          let owned =
+            List.filter
+              (fun r ->
+                let key = (r.r_unit, r.r_fn) in
+                if Hashtbl.mem seen key then false
+                else begin
+                  Hashtbl.replace seen key true;
+                  true
+                end)
+              a.replacements
+          in
+          List.fold_left
+            (fun acc r -> Result.bind acc (fun () -> check_replacement r))
+            (check_module a) owned))
+    (Ok ()) t.stack

@@ -1,0 +1,84 @@
+(** ksplice-apply / ksplice-undo (§5): loading an update into a running
+    kernel, the quiescence safety check, trampoline insertion, custom-code
+    hooks, and reversal.
+
+    Applying an update:
+    + run-pre match every helper against kernel memory (safety + symbol
+      resolution);
+    + load the primary module into module memory, relocating it with the
+      inferred symbol values (falling back to unique kallsyms globals);
+    + run [ksplice_pre_apply] hooks;
+    + under [stop_machine], check that no thread's instruction pointer or
+      stack return addresses fall within any to-be-replaced function
+      (§5.2) — retrying after letting the scheduler advance, then
+      abandoning; insert a 5-byte jump at each obsolete function's entry;
+      run [ksplice_apply] hooks while the machine is stopped;
+    + run [ksplice_post_apply] hooks.
+
+    Undo restores the saved instruction bytes (§5: "reversing an update
+    removes the jump instructions"), guarded by the symmetric quiescence
+    check on the replacement code, with the three reverse hooks. *)
+
+type replacement = {
+  r_unit : string;
+  r_fn : string;  (** canonical function name *)
+  r_old_addr : int;  (** entry of the obsolete function (run kernel) *)
+  r_new_addr : int;  (** entry of the replacement code (primary module) *)
+  r_old_size : int;  (** pre text size: the quiescence guard range *)
+  r_new_size : int;
+}
+
+type applied = {
+  update : Update.t;
+  replacements : replacement list;
+  saved : (int * Bytes.t) list;  (** trampoline sites and original bytes *)
+  module_ranges : (int * int) list;  (** placed primary sections *)
+  module_image : (int * Bytes.t) list;  (** relocated bytes as written *)
+  added_symbols : Klink.Image.syminfo list;
+  pause_ns : int;  (** simulated stop_machine pause *)
+}
+
+type error =
+  | Code_mismatch of Runpre.mismatch
+      (** run and pre code differ: the §4.2 safety abort *)
+  | Ambiguous_symbol of string * string * int  (** unit, symbol, matches *)
+  | Unresolved_symbol of string
+  | Not_quiescent of string list  (** functions still in use after retries *)
+  | Function_too_small of string
+  | Hook_fault of string * Kernel.Machine.fault
+  | Already_applied of string
+  | Not_applied of string
+  | Not_topmost of string  (** a later update still redirects its code *)
+  | Integrity of string  (** post-apply verification found damage *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** The update manager: tracks applied updates on one machine (the role of
+    the Ksplice core kernel module). *)
+type t
+
+val init : Kernel.Machine.t -> t
+val machine : t -> Kernel.Machine.t
+
+(** Applied updates, most recent first. *)
+val applied : t -> applied list
+
+(** [apply t update] performs the full §5 sequence. [max_attempts]
+    (default 10) bounds quiescence retries; between attempts the scheduler
+    advances [retry_steps] (default 2000) instructions. [tolerance]
+    selects run-pre matcher capabilities (ablation experiments only). *)
+val apply :
+  ?tolerance:Runpre.tolerance ->
+  ?max_attempts:int -> ?retry_steps:int -> t -> Update.t ->
+  (applied, error) result
+
+(** [undo t id] reverses the most recent update, which must be [id]. *)
+val undo : t -> string -> (unit, error) result
+
+(** [verify t] audits every applied update: each replaced function's entry
+    must still hold the jump to its (topmost) replacement, and the
+    replacement module's bytes must be exactly as written. Run-pre
+    matching checks the kernel {e before} splicing; [verify] detects
+    damage {e after} — a stray memory write over a trampoline or module,
+    for instance. *)
+val verify : t -> (unit, error) result

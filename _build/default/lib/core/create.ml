@@ -1,0 +1,204 @@
+module Tree = Patchfmt.Source_tree
+module Diff = Patchfmt.Diff
+module Section = Objfile.Section
+module Symbol = Objfile.Symbol
+module Reloc = Objfile.Reloc
+
+type request = {
+  source : Tree.t;
+  patch : Diff.t;
+  update_id : string;
+  description : string;
+}
+
+type error =
+  | Patch_error of string
+  | Build_error of string
+  | No_object_changes
+  | Data_semantics_changed of (string * string) list
+
+let pp_error ppf = function
+  | Patch_error m -> Format.fprintf ppf "patch does not apply: %s" m
+  | Build_error m -> Format.fprintf ppf "build failed: %s" m
+  | No_object_changes -> Format.fprintf ppf "patch changed no object code"
+  | Data_semantics_changed l ->
+    Format.fprintf ppf
+      "patch changes the initial value of persistent data (%s); custom \
+       update code is required"
+      (String.concat ", "
+         (List.map (fun (u, d) -> Printf.sprintf "%s:%s" u d) l))
+
+type created = {
+  update : Update.t;
+  diffs : Prepost.unit_diff list;
+}
+
+let is_source path =
+  Filename.check_suffix path ".c" || Filename.check_suffix path ".s"
+
+let empty_obj unit_name = Objfile.make ~unit_name ~sections:[] ~symbols:[]
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Sections of [post] to carry in the primary for one unit. *)
+let included_sections (post : Objfile.t) (d : Prepost.unit_diff) =
+  List.filter
+    (fun (s : Section.t) ->
+      match s.kind with
+      | Section.Text -> (
+        match Prepost.fname_of_section s with
+        | Some f ->
+          List.mem f d.changed_functions || List.mem f d.new_functions
+        | None -> false)
+      | Section.Data | Section.Bss -> (
+        match Prepost.dataname_of_section s with
+        | Some n -> List.mem n d.new_data
+        | None -> false)
+      | Section.Rodata ->
+        (* copies of read-only data are safe and keep the replacement
+           code's string references working *)
+        d.changed_functions <> [] || d.new_functions <> []
+      | Section.Note -> starts_with ".ksplice." s.name)
+    post.sections
+
+let create ?(build_options = Minic.Driver.pre_build) req =
+  match Diff.apply req.patch req.source with
+  | Error m -> Error (Patch_error m)
+  | Ok post_tree -> (
+    match
+      ( Kbuild.build_tree ~options:build_options req.source,
+        Kbuild.build_tree ~options:build_options post_tree )
+    with
+    | exception Kbuild.Build_error m -> Error (Build_error m)
+    | pre_build, post_build ->
+      let patched_units =
+        Diff.changed_files req.patch |> List.filter is_source
+      in
+      let diffs =
+        List.map
+          (fun unit_name ->
+            let pre =
+              match Kbuild.find_unit pre_build unit_name with
+              | Some u -> u.obj
+              | None -> empty_obj unit_name
+            in
+            let post =
+              match Kbuild.find_unit post_build unit_name with
+              | Some u -> u.obj
+              | None -> empty_obj unit_name
+            in
+            Prepost.diff_unit ~pre ~post)
+          patched_units
+      in
+      if List.for_all Prepost.is_empty diffs then Error No_object_changes
+      else begin
+        (* assemble the primary object *)
+        let prim_sections = ref [] in
+        let prim_symbols = ref [] in
+        let sym_units = ref [] in
+        let replaced = ref [] in
+        let has_hooks = ref false in
+        List.iter2
+          (fun unit_name d ->
+            match Kbuild.find_unit post_build unit_name with
+            | None -> ()
+            | Some u ->
+              let post = u.obj in
+              let included = included_sections post d in
+              let included_names =
+                List.map (fun (s : Section.t) -> s.name) included
+              in
+              (* every local symbol of the unit is canonicalised, whether
+                 its definition is included (it will be defined by the
+                 primary) or not (run-pre inference will resolve it) *)
+              let rename name =
+                let binding =
+                  match
+                    List.find_opt
+                      (fun (sym : Symbol.t) ->
+                        String.equal sym.name name && Symbol.is_defined sym)
+                      post.symbols
+                  with
+                  | Some sym -> sym.binding
+                  | None -> Symbol.Global
+                in
+                Update.canonical ~binding ~unit_name name
+              in
+              List.iter
+                (fun (s : Section.t) ->
+                  if starts_with ".ksplice." s.name then has_hooks := true;
+                  let s' =
+                    { s with
+                      name = s.name ^ "@" ^ unit_name;
+                      relocs =
+                        List.map
+                          (fun (r : Reloc.t) -> { r with sym = rename r.sym })
+                          s.relocs }
+                  in
+                  prim_sections := s' :: !prim_sections)
+                included;
+              List.iter
+                (fun (sym : Symbol.t) ->
+                  match sym.def with
+                  | Some def when List.mem def.section included_names ->
+                    let name' = rename sym.name in
+                    prim_symbols :=
+                      { sym with
+                        name = name';
+                        def =
+                          Some
+                            { def with
+                              section = def.section ^ "@" ^ unit_name } }
+                      :: !prim_symbols;
+                    sym_units := (name', unit_name) :: !sym_units
+                  | _ -> ())
+                post.symbols;
+              List.iter
+                (fun f -> replaced := (unit_name, rename f) :: !replaced)
+                d.changed_functions)
+          patched_units diffs;
+        (* data-semantics gate: changed init of existing data needs custom
+           code *)
+        let data_changes =
+          List.concat_map
+            (fun (d : Prepost.unit_diff) ->
+              List.map (fun n -> (d.unit_name, n)) d.changed_data)
+            diffs
+        in
+        if data_changes <> [] && not !has_hooks then
+          Error (Data_semantics_changed data_changes)
+        else begin
+          let primary =
+            Objfile.make ~unit_name:("ksplice-" ^ req.update_id)
+              ~sections:(List.rev !prim_sections)
+              ~symbols:(List.rev !prim_symbols)
+          in
+          (* undefined references, to be resolved at apply time *)
+          let undef =
+            Objfile.undefined_symbols primary
+            |> List.map (fun n -> Symbol.make ~name:n None)
+          in
+          let primary = { primary with symbols = primary.symbols @ undef } in
+          let helpers =
+            List.filter_map
+              (fun unit_name ->
+                Option.map
+                  (fun (u : Kbuild.unit_build) -> u.obj)
+                  (Kbuild.find_unit pre_build unit_name))
+              patched_units
+          in
+          let update =
+            {
+              Update.update_id = req.update_id;
+              description = req.description;
+              patched_units;
+              replaced_functions = List.rev !replaced;
+              primary;
+              helpers;
+              primary_sym_units = List.rev !sym_units;
+            }
+          in
+          Ok { update; diffs }
+        end
+      end)

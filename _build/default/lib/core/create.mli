@@ -1,0 +1,35 @@
+(** ksplice-create (§3, §5): from kernel source plus a unified-diff patch
+    to an update file, via two builds and pre-post differencing.
+
+    The source given here must be the source of the {e running} kernel —
+    for a previously-patched kernel, the previously-patched source (§5.4).
+    No special preparation of the running kernel is required. *)
+
+type request = {
+  source : Patchfmt.Source_tree.t;  (** source of the running kernel *)
+  patch : Patchfmt.Diff.t;
+  update_id : string;
+  description : string;
+}
+
+type error =
+  | Patch_error of string  (** the patch does not apply to the source *)
+  | Build_error of string  (** pre or post build failed *)
+  | No_object_changes  (** the patch changed no object code *)
+  | Data_semantics_changed of (string * string) list
+      (** (unit, datum) pairs whose initial images changed while the patch
+          provides no custom update code — the §2 case requiring a
+          programmer (Table 1) *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type created = {
+  update : Update.t;
+  diffs : Prepost.unit_diff list;  (** per patched unit *)
+}
+
+(** [create ?build_options request] builds the update. [build_options]
+    defaults to {!Minic.Driver.pre_build} (function sections on — required
+    for the differencing to be per-function). *)
+val create :
+  ?build_options:Minic.Driver.options -> request -> (created, error) result

@@ -1,0 +1,95 @@
+module Section = Objfile.Section
+
+type unit_diff = {
+  unit_name : string;
+  changed_functions : string list;
+  new_functions : string list;
+  removed_functions : string list;
+  changed_data : string list;
+  new_data : string list;
+}
+
+let pp_unit_diff ppf d =
+  let pl = Format.pp_print_list ~pp_sep:Format.pp_print_space
+      Format.pp_print_string in
+  Format.fprintf ppf
+    "@[<v2>%s:@,changed: @[%a@]@,new: @[%a@]@,removed: @[%a@]@,\
+     data changed: @[%a@]@,data new: @[%a@]@]"
+    d.unit_name pl d.changed_functions pl d.new_functions pl
+    d.removed_functions pl d.changed_data pl d.new_data
+
+let strip_prefix p s =
+  let lp = String.length p in
+  if String.length s > lp && String.sub s 0 lp = p then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let fname_of_section (s : Section.t) =
+  if s.kind = Section.Text then strip_prefix ".text." s.name else None
+
+let dataname_of_section (s : Section.t) =
+  match s.kind with
+  | Section.Data -> strip_prefix ".data." s.name
+  | Section.Bss -> strip_prefix ".bss." s.name
+  | _ -> None
+
+let bss_equal (a : Section.t) (b : Section.t) = a.size = b.size
+
+let diff_unit ~(pre : Objfile.t) ~(post : Objfile.t) =
+  let index select o =
+    List.filter_map
+      (fun (s : Section.t) ->
+        Option.map (fun n -> (n, s)) (select s))
+      o.Objfile.sections
+  in
+  let pre_funcs = index fname_of_section pre in
+  let post_funcs = index fname_of_section post in
+  let changed_functions =
+    List.filter_map
+      (fun (n, (s_post : Section.t)) ->
+        match List.assoc_opt n pre_funcs with
+        | Some s_pre when not (Section.equal_contents s_pre s_post) -> Some n
+        | _ -> None)
+      post_funcs
+  in
+  let new_functions =
+    List.filter_map
+      (fun (n, _) ->
+        if List.mem_assoc n pre_funcs then None else Some n)
+      post_funcs
+  in
+  let removed_functions =
+    List.filter_map
+      (fun (n, _) ->
+        if List.mem_assoc n post_funcs then None else Some n)
+      pre_funcs
+  in
+  let pre_data = index dataname_of_section pre in
+  let post_data = index dataname_of_section post in
+  let changed_data =
+    List.filter_map
+      (fun (n, (s_post : Section.t)) ->
+        match List.assoc_opt n pre_data with
+        | Some s_pre ->
+          let same =
+            if s_pre.kind = Section.Bss && s_post.kind = Section.Bss then
+              bss_equal s_pre s_post
+            else
+              s_pre.kind = s_post.kind && Section.equal_contents s_pre s_post
+          in
+          if same then None else Some n
+        | None -> None)
+      post_data
+  in
+  let new_data =
+    List.filter_map
+      (fun (n, _) ->
+        if List.mem_assoc n pre_data then None else Some n)
+      post_data
+  in
+  { unit_name = post.unit_name; changed_functions; new_functions;
+    removed_functions; changed_data; new_data }
+
+let is_empty d =
+  d.changed_functions = [] && d.new_functions = [] && d.removed_functions = []
+  && d.changed_data = [] && d.new_data = []

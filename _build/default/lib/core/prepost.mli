@@ -1,0 +1,37 @@
+(** Pre-post differencing (§3): compare the object code of the kernel
+    built before and after the patch, per compilation unit, to find what
+    actually changed — including functions changed only indirectly (a
+    callee was re-inlined, a prototype ripple changed the caller's code).
+
+    Both builds use function/data sections, so the comparison is
+    per-function and per-datum; relocation holes are zero in both builds,
+    making byte comparison exact without masking heuristics. "Extraneous
+    differences between the pre and the post object code are harmless"
+    (§3.2): anything that differs is replaced. *)
+
+type unit_diff = {
+  unit_name : string;
+  changed_functions : string list;  (** text sections differing *)
+  new_functions : string list;  (** present only post *)
+  removed_functions : string list;  (** present only pre *)
+  changed_data : string list;  (** existing data/bss whose initial image changed: the §2 "semantic change" signal *)
+  new_data : string list;  (** data/bss present only post *)
+}
+
+val pp_unit_diff : Format.formatter -> unit_diff -> unit
+
+(** [fname_of_section s] extracts the function name from a [.text.<f>]
+    section. *)
+val fname_of_section : Objfile.Section.t -> string option
+
+(** [dataname_of_section s] extracts the datum name from a [.data.<n>] or
+    [.bss.<n>] section. *)
+val dataname_of_section : Objfile.Section.t -> string option
+
+(** [diff_unit ~pre ~post] compares two builds of one unit (both built
+    with function sections). *)
+val diff_unit : pre:Objfile.t -> post:Objfile.t -> unit_diff
+
+(** [is_empty d] holds when the patch had no object-code effect on the
+    unit. *)
+val is_empty : unit_diff -> bool

@@ -1,0 +1,124 @@
+module Tree = Patchfmt.Source_tree
+module Diff = Patchfmt.Diff
+
+type t = { dir : string }
+
+type entry = {
+  base_digest : string;
+  next_digest : string;
+  patch_text : string;
+  update : Update.t;
+}
+
+exception Repo_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Repo_error m)) fmt
+
+let open_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then err "%s is not a directory" dir;
+  { dir }
+
+let entry_path t digest = Filename.concat t.dir (digest ^ ".entry")
+
+let magic = "KSPLREPO1"
+
+let write_entry t (e : entry) =
+  let b = Buffer.create 4096 in
+  let put_str s =
+    Buffer.add_int32_le b (Int32.of_int (String.length s));
+    Buffer.add_string b s
+  in
+  Buffer.add_string b magic;
+  put_str e.base_digest;
+  put_str e.next_digest;
+  put_str e.patch_text;
+  put_str (Bytes.to_string (Update.to_bytes e.update));
+  let oc = open_out_bin (entry_path t e.base_digest) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Buffer.output_buffer oc b)
+
+let read_entry t digest =
+  let path = entry_path t digest in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let raw = really_input_string ic len in
+        if
+          String.length raw < String.length magic
+          || String.sub raw 0 (String.length magic) <> magic
+        then err "%s: bad repository entry" path;
+        let pos = ref (String.length magic) in
+        let get_str () =
+          if !pos + 4 > String.length raw then err "%s: truncated" path;
+          let n = Int32.to_int (String.get_int32_le raw !pos) in
+          pos := !pos + 4;
+          if n < 0 || !pos + n > String.length raw then
+            err "%s: truncated" path;
+          let s = String.sub raw !pos n in
+          pos := !pos + n;
+          s
+        in
+        let base_digest = get_str () in
+        let next_digest = get_str () in
+        let patch_text = get_str () in
+        let update = Update.of_bytes (Bytes.of_string (get_str ())) in
+        Some { base_digest; next_digest; patch_text; update })
+  end
+
+let publish t ~source ~patch ~update =
+  let base_digest = Tree.digest source in
+  if Sys.file_exists (entry_path t base_digest) then
+    err "an update for source state %s is already published" base_digest;
+  let next_tree =
+    match Diff.apply patch source with
+    | Ok tr -> tr
+    | Error m -> err "patch does not apply to the published source: %s" m
+  in
+  let e =
+    { base_digest; next_digest = Tree.digest next_tree;
+      patch_text = Diff.to_string patch; update }
+  in
+  write_entry t e;
+  e
+
+let pending t ~digest =
+  let rec walk digest acc seen =
+    if List.mem digest seen then err "repository chain contains a cycle"
+    else
+      match read_entry t digest with
+      | None -> List.rev acc
+      | Some e -> walk e.next_digest (e :: acc) (digest :: seen)
+  in
+  walk digest [] []
+
+type sync_report = {
+  applied : string list;
+  new_source : Tree.t;
+}
+
+let sync t mgr ~source =
+  let chain = pending t ~digest:(Tree.digest source) in
+  let rec go source applied = function
+    | [] -> Ok { applied = List.rev applied; new_source = source }
+    | e :: rest -> (
+      match Apply.apply mgr e.update with
+      | Error ae ->
+        Error
+          (Format.asprintf "update %s failed: %a" e.update.Update.update_id
+             Apply.pp_error ae)
+      | Ok _ -> (
+        match Diff.parse e.patch_text with
+        | Error m -> Error ("corrupt patch in repository: " ^ m)
+        | Ok patch -> (
+          match Diff.apply patch source with
+          | Error m -> Error ("local source does not take the patch: " ^ m)
+          | Ok source' ->
+            go source' (e.update.Update.update_id :: applied) rest)))
+  in
+  go source [] chain

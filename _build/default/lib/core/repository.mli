@@ -1,0 +1,53 @@
+(** Hot-update distribution (§8's future work): "one could use Ksplice to
+    create hot update packages for common starting kernel configurations.
+    People who subscribe their systems to these updates would be able to
+    transparently receive kernel hot updates."
+
+    A repository is a directory of entries keyed by the digest of the
+    kernel source they apply to. Each entry carries the update file plus
+    the source patch, so a subscriber can advance its local
+    previously-patched source (needed both to verify the chain and to
+    create further updates, §5.4). Subscribing walks the chain from the
+    subscriber's current digest, applying every pending update in order —
+    the paper's "without any ongoing effort from users" flow. *)
+
+type t
+
+(** An update published against a particular source state. *)
+type entry = {
+  base_digest : string;  (** digest of the source this applies to *)
+  next_digest : string;  (** digest after applying the patch *)
+  patch_text : string;  (** unified diff *)
+  update : Update.t;
+}
+
+exception Repo_error of string
+
+(** [open_dir dir] opens (creating if needed) a repository directory. *)
+val open_dir : string -> t
+
+(** [publish repo ~source ~patch ~update] records [update] as the next
+    hop from [source]; returns the entry. @raise Repo_error if an entry
+    for this source digest already exists (linear chains only) or the
+    patch does not apply. *)
+val publish :
+  t -> source:Patchfmt.Source_tree.t -> patch:Patchfmt.Diff.t ->
+  update:Update.t -> entry
+
+(** [pending repo ~digest] is the chain of entries starting at [digest],
+    oldest first (empty when up to date). *)
+val pending : t -> digest:string -> entry list
+
+(** Outcome of one subscriber synchronisation. *)
+type sync_report = {
+  applied : string list;  (** update ids, in application order *)
+  new_source : Patchfmt.Source_tree.t;  (** advanced local source *)
+}
+
+(** [sync repo mgr ~source] fetches and applies every update pending for
+    the subscriber whose running kernel was built from [source]
+    (possibly already patched), keeping the local source in step.
+    Stops at the first failure. *)
+val sync :
+  t -> Apply.t -> source:Patchfmt.Source_tree.t ->
+  (sync_report, string) result

@@ -1,0 +1,122 @@
+module Symbol = Objfile.Symbol
+
+type t = {
+  update_id : string;
+  description : string;
+  patched_units : string list;
+  replaced_functions : (string * string) list;
+  primary : Objfile.t;
+  helpers : Objfile.t list;
+  primary_sym_units : (string * string) list;
+}
+
+let canonical ~binding ~unit_name name =
+  match binding with
+  | Symbol.Local -> name ^ "@" ^ unit_name
+  | Symbol.Global -> name
+
+let split_canonical n =
+  match String.rindex_opt n '@' with
+  | Some i ->
+    (String.sub n 0 i, Some (String.sub n (i + 1) (String.length n - i - 1)))
+  | None -> (n, None)
+
+(* --- serialisation --- *)
+
+let magic = "KSPL1"
+
+let put_int b v = Buffer.add_int32_le b (Int32.of_int v)
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_obj b o =
+  let bytes = Objfile.to_bytes o in
+  put_int b (Bytes.length bytes);
+  Buffer.add_bytes b bytes
+
+let put_list b f l =
+  put_int b (List.length l);
+  List.iter (f b) l
+
+let put_pair b (x, y) =
+  put_str b x;
+  put_str b y
+
+let to_bytes u =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b magic;
+  put_str b u.update_id;
+  put_str b u.description;
+  put_list b put_str u.patched_units;
+  put_list b put_pair u.replaced_functions;
+  put_obj b u.primary;
+  put_list b put_obj u.helpers;
+  put_list b put_pair u.primary_sym_units;
+  Buffer.to_bytes b
+
+type reader = { buf : Bytes.t; mutable pos : int }
+
+let need r n =
+  if r.pos + n > Bytes.length r.buf then failwith "Update: truncated input"
+
+let get_int r =
+  need r 4;
+  let v = Int32.to_int (Bytes.get_int32_le r.buf r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then failwith "Update: negative length";
+  v
+
+let get_str r =
+  let n = get_int r in
+  need r n;
+  let s = Bytes.sub_string r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_obj r =
+  let n = get_int r in
+  need r n;
+  let o = Objfile.of_bytes (Bytes.sub r.buf r.pos n) in
+  r.pos <- r.pos + n;
+  o
+
+let get_list r f = List.init (get_int r) (fun _ -> f r)
+
+let get_pair r =
+  let a = get_str r in
+  let b = get_str r in
+  (a, b)
+
+let of_bytes buf =
+  let r = { buf; pos = 0 } in
+  need r (String.length magic);
+  if Bytes.sub_string buf 0 (String.length magic) <> magic then
+    failwith "Update: bad magic";
+  r.pos <- String.length magic;
+  let update_id = get_str r in
+  let description = get_str r in
+  let patched_units = get_list r get_str in
+  let replaced_functions = get_list r get_pair in
+  let primary = get_obj r in
+  let helpers = get_list r get_obj in
+  let primary_sym_units = get_list r get_pair in
+  { update_id; description; patched_units; replaced_functions; primary;
+    helpers; primary_sym_units }
+
+let write_file path u =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc (to_bytes u))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      of_bytes b)

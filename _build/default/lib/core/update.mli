@@ -1,0 +1,42 @@
+(** Ksplice update files.
+
+    An update bundles the {e primary} object (replacement code: the post
+    versions of every changed function, any new functions and data the
+    patch introduced, copies of referenced read-only data, and the
+    [.ksplice.*] hook sections) with one {e helper} object per patched
+    compilation unit (the complete pre build of that unit, §5.1). The
+    helper is what run-pre matching checks against the running kernel; it
+    can be discarded once the update is applied.
+
+    Symbol namespace: unit-local (static) symbols are canonicalised to
+    [name@unit] throughout the update so that two units' identically-named
+    statics never collide — the object-level answer to the ambiguous
+    symbol problem of §4.1. *)
+
+type t = {
+  update_id : string;
+  description : string;
+  (* units the patch touched, in build order *)
+  patched_units : string list;
+  (* functions to be redirected with trampolines: (unit, function) with
+     the function name in canonical form *)
+  replaced_functions : (string * string) list;
+  primary : Objfile.t;
+  helpers : Objfile.t list;
+  (* defining unit of every symbol the primary defines *)
+  primary_sym_units : (string * string) list;
+}
+
+(** [canonical ~binding ~unit name] is the update-namespace symbol name:
+    [name@unit] for local symbols, [name] for globals. *)
+val canonical :
+  binding:Objfile.Symbol.binding -> unit_name:string -> string -> string
+
+(** [split_canonical n] recovers [(original_name, unit option)]. *)
+val split_canonical : string -> string * string option
+
+val to_bytes : t -> Bytes.t
+val of_bytes : Bytes.t -> t
+
+val write_file : string -> t -> unit
+val read_file : string -> t

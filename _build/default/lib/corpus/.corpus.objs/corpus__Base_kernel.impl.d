@@ -1,0 +1,1 @@
+lib/corpus/base_kernel.ml: Patchfmt

@@ -1,0 +1,1 @@
+lib/corpus/boot.ml: Array Base_kernel Format Int32 Kbuild Kernel Klink List Minic Option Printf String

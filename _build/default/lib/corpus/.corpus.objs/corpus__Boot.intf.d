@@ -1,0 +1,1 @@
+lib/corpus/boot.mli: Kbuild Kernel Klink Patchfmt

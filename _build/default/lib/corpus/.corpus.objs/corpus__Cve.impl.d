@@ -1,0 +1,1 @@
+lib/corpus/cve.ml: List Option Patchfmt Printf String

@@ -1,0 +1,1 @@
+lib/corpus/cve.mli: Patchfmt

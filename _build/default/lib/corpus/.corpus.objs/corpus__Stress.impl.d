@@ -1,0 +1,1 @@
+lib/corpus/stress.ml: Boot Format Int32 Kernel Klink List Printf String Userprog

@@ -1,0 +1,1 @@
+lib/corpus/stress.mli: Boot

@@ -1,0 +1,1 @@
+lib/corpus/userprog.ml: Format Kernel Klink Minic Option

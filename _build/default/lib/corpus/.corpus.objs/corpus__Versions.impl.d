@@ -1,0 +1,1 @@
+lib/corpus/versions.ml: Base_kernel Cve List Option Patchfmt String

@@ -1,0 +1,1 @@
+lib/corpus/versions.mli: Cve Patchfmt

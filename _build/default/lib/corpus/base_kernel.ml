@@ -1,0 +1,1138 @@
+(* The synthetic kernel the evaluation runs against: a ~20-unit MiniC/asm
+   source tree with 64 security bugs planted, mirroring the texture of the
+   paper's corpus — small checker functions that get inlined into their
+   callers, identically-named static symbols across units, an assembly
+   syscall entry path, per-subsystem state, and custom-code-requiring
+   initialisation patterns.
+
+   Syscall numbers are fixed by the table in entry.s; the Sys module names
+   them for exploits and the stress test. *)
+
+(* --- syscall numbers (indices into sys_call_table) --- *)
+module Sys_nr = struct
+  let getpid = 0
+  let write_log = 1
+  let gettick = 2
+  let prctl = 3
+  let admin_op = 4
+  let pipe_write = 5
+  let pipe_flush = 6
+  let proc_status = 7
+  let set_hook = 8
+  let counter_add = 9
+  let counter_get = 10
+  let fs_open = 11
+  let fs_read = 12
+  let fs_setattr = 13
+  let net_send = 14
+  let net_recv = 15
+  let sock_opt = 16
+  let ipc_send = 17
+  let ipc_recv = 18
+  let mm_brk = 19
+  let mm_mmap = 20
+  let sig_send = 21
+  let sig_mask = 22
+  let time_set = 23
+  let time_get = 24
+  let tty_ioctl = 25
+  let xattr_set = 26
+  let xattr_get = 27
+  let key_add = 28
+  let key_read = 29
+  let quota_set = 30
+  let quota_get = 31
+  let audit_log = 32
+  let audit_read = 33
+  let dst_tune = 34
+  let dst_ca_info = 35
+  let mod_stat = 36
+  let uid_get = 37
+  let setuid = 38
+  let video_ioctl = 39
+  let usb_submit = 40
+  let splice_pages = 41
+  let random_read = 42
+  let personality = 43
+  let capset = 44
+  let capget = 45
+  let sched_yield = 46
+  let sched_nice = 47
+  let count = 48
+end
+
+let entry_s =
+  {|; syscall entry path (the ia32entry.S analogue).
+; nr in r0, args in r1..r3. The table lives in this unit's .data.
+.text
+.global syscall_entry
+syscall_entry:
+  cmpi r0, 48
+  jge .Lbad
+  push r3
+  push r2
+  push r1
+  mov r4, sys_call_table
+  mov r5, r0
+  mov r7, 4
+  mul r5, r7
+  add r4, r5
+  loadw r4, [r4+0]
+  callr r4
+  pop r1
+  pop r2
+  pop r3
+  ret
+.Lbad:
+  mov r0, -1
+  ret
+
+.data
+.global kernel_hook
+kernel_hook:
+  .word 0
+.global sys_call_table
+sys_call_table:
+  .word sys_getpid
+  .word sys_write_log
+  .word sys_gettick
+  .word sys_prctl
+  .word sys_admin_op
+  .word sys_pipe_write
+  .word sys_pipe_flush
+  .word sys_proc_status
+  .word sys_set_hook
+  .word sys_counter_add
+  .word sys_counter_get
+  .word sys_fs_open
+  .word sys_fs_read
+  .word sys_fs_setattr
+  .word sys_net_send
+  .word sys_net_recv
+  .word sys_sock_opt
+  .word sys_ipc_send
+  .word sys_ipc_recv
+  .word sys_mm_brk
+  .word sys_mm_mmap
+  .word sys_sig_send
+  .word sys_sig_mask
+  .word sys_time_set
+  .word sys_time_get
+  .word sys_tty_ioctl
+  .word sys_xattr_set
+  .word sys_xattr_get
+  .word sys_key_add
+  .word sys_key_read
+  .word sys_quota_set
+  .word sys_quota_get
+  .word sys_audit_log
+  .word sys_audit_read
+  .word sys_dst_tune
+  .word sys_dst_ca_info
+  .word sys_mod_stat
+  .word sys_uid_get
+  .word sys_setuid
+  .word sys_video_ioctl
+  .word sys_usb_submit
+  .word sys_splice_pages
+  .word sys_random_read
+  .word sys_personality
+  .word sys_capset
+  .word sys_capget
+  .word sys_sched_yield
+  .word sys_sched_nice
+|}
+
+let init_c =
+  {|/* boot-time state; the secret token models kernel data that must not
+   leak to user space */
+int boot_token = 0;
+int boot_done = 0;
+int panic_count = 0;
+
+extern int proc_count;
+extern int quota_default;
+
+void kernel_init() {
+  boot_token = 0x5EC2E7;
+  boot_done = 1;
+  proc_count = 1;
+  quota_default = 1024;
+}
+
+int sys_getpid() { return 1; }
+
+int sys_gettick() { return __gettick(); }
+
+int sys_uid_get() { return __getuid(); }
+|}
+
+let creds_c =
+  {|/* credentials: per-thread uid lives host-side; capability word and
+   dumpable flag are kernel globals (single traced process model) */
+int cur_caps = 0;
+int dumpable = 0;
+
+/* CAP_ADMIN is bit 4 */
+static int cap_admin_mask = 16;
+
+void grant_root() { __setuid(0); }
+
+int capable_admin() {
+  return (cur_caps & cap_admin_mask) || __getuid() == 0;
+}
+
+int sys_setuid(int uid) {
+  if (__getuid() != 0)
+    return -1;
+  __setuid(uid);
+  return 0;
+}
+
+/* CVE-A03 (prctl, CVE-2006-2451 analogue): PR_SET_KEEPCAPS stores the
+   raw argument into the capability word instead of masking it to the
+   single KEEPCAPS bit, so an unprivileged caller can grant itself
+   CAP_ADMIN. */
+int sys_prctl(int option, int arg) {
+  if (option == 1) {
+    dumpable = arg & 1;
+    return 0;
+  }
+  if (option == 2) {
+    cur_caps = arg;
+    return 0;
+  }
+  if (option == 3)
+    return dumpable;
+  return -1;
+}
+
+/* admin_op: privileged maintenance operations gated on capable_admin */
+int sys_admin_op(int op, int arg) {
+  if (!capable_admin())
+    return -1;
+  if (op == 1) {
+    __setuid(arg);
+    return 0;
+  }
+  if (op == 2) {
+    dumpable = 0;
+    return 0;
+  }
+  return -1;
+}
+
+int creds_cap_census(int flag) {
+  int i;
+  int n = 0;
+  if (flag) {
+    for (i = 0; i < 8; i = i + 1) {
+      if (cur_caps & (1 << i))
+        n = n + 1;
+    }
+  }
+  return n;
+}
+
+int sys_capset(int caps) {
+  if (__getuid() != 0)
+    return -1;
+  cur_caps = caps;
+  return 0;
+}
+
+int sys_capget() { return cur_caps; }
+|}
+
+let pipe_c =
+  {|/* in-kernel pipe with a notification callback (the vmsplice
+   CVE-2008-0600 analogue lives here) */
+int pipe_buf[16];
+int pipe_notify_fn;
+int pipe_len = 0;
+static int pipe_debug = 0;
+
+/* CVE-A05: no bound check on len, so a long write runs past pipe_buf
+   and overwrites pipe_notify_fn with attacker data */
+int sys_pipe_write(int src, int len) {
+  int i;
+  int *p = (int*)src;
+  for (i = 0; i < len; i = i + 1)
+    pipe_buf[i] = p[i];
+  pipe_len = len;
+  return len;
+}
+
+int sys_pipe_flush() {
+  int fp;
+  if (pipe_debug)
+    __putc('F');
+  if (pipe_notify_fn != 0) {
+    fp = pipe_notify_fn;
+    fp();
+  }
+  pipe_len = 0;
+  return 0;
+}
+
+/* CVE-A41 (splice): page count check uses > instead of >=, allowing one
+   extra page descriptor to be read back (info leak of the word after the
+   buffer) */
+static int splice_limit(int n) { return n > 17; }
+
+int sys_splice_pages(int idx) {
+  if (splice_limit(idx))
+    return -1;
+  if (idx < 0)
+    return -1;
+  return pipe_buf[idx];
+}
+|}
+
+let proc_c =
+  {|/* process info pseudo-filesystem */
+int proc_count = 0;
+static int last_field = 0;
+
+extern int boot_token;
+
+struct task {
+  int pid;
+  int uid;
+  int nice;
+  int token;
+};
+
+struct task task_table[8];
+
+void task_init(int pid, int uid) {
+  struct task *t = &task_table[pid & 7];
+  t->pid = pid;
+  t->uid = uid;
+  t->nice = 0;
+  t->token = boot_token;
+}
+
+/* CVE-A07 (CVE-2006-3626 analogue): status read has no ownership check,
+   leaking another task's token (which equals the boot token) */
+int sys_proc_status(int pid, int field) {
+  struct task *t = &task_table[pid & 7];
+  last_field = field;
+  if (field == 0)
+    return t->pid;
+  if (field == 1)
+    return t->uid;
+  if (field == 2)
+    return t->token;
+  return -1;
+}
+
+static int clamp_nonneg(int v) {
+  if (v < 0)
+    return 0;
+  return v;
+}
+
+int sys_mod_stat() { return clamp_nonneg(proc_count + last_field); }
+|}
+
+let misc_c =
+  {|/* miscellaneous kernel services */
+extern int kernel_hook;
+
+/* profiling hook: stores a marker word readable by debug tooling; part
+   of the CVE-A00 (entry.s) exploit chain */
+int sys_set_hook(int v) {
+  kernel_hook = v;
+  return 0;
+}
+
+int misc_spin_count(int rounds) {
+  int i;
+  int n = 0;
+  if (rounds > 0) {
+    for (i = 0; i < rounds; i = i + 1)
+      n = n + 2;
+  }
+  return n;
+}
+
+int sys_sched_yield() {
+  __yield();
+  return 0;
+}
+
+static int nice_floor = -20;
+
+int sched_policy_quantum(int policy) {
+  int q = 0;
+  do {
+    q += 10;
+    policy--;
+  } while (policy > 0);
+  return q;
+}
+
+int sys_sched_nice(int n) {
+  if (n < nice_floor)
+    n = nice_floor;
+  if (n > 19)
+    n = 19;
+  return n;
+}
+
+/* CVE-A43 (personality): the personality word is stored unmasked;
+   reserved high bits are supposed to be cleared for non-root */
+int personality_word = 0;
+
+static int pers_ok(int p) { return p != -1; }
+
+int sys_personality(int p) {
+  if (!pers_ok(p))
+    return -1;
+  personality_word = p;
+  return personality_word;
+}
+|}
+
+let counters_c =
+  {|/* global counters used by the stress test to detect corruption */
+int counters[8];
+static int trace_adds = 0;
+
+static int counter_ok(int idx) { return idx < 8; }
+
+int sys_counter_add(int idx, int delta) {
+  static int op_count = 0;
+  if (!counter_ok(idx))
+    return -1;
+  op_count = op_count + 1;
+  counters[idx] = counters[idx] + delta;
+  if (trace_adds)
+    __putc('C');
+  return counters[idx];
+}
+
+int sys_counter_get(int idx) {
+  if (!counter_ok(idx))
+    return -1;
+  return counters[idx];
+}
+
+static int clamp_nonneg(int v) {
+  if (v < 0)
+    return 0;
+  return v;
+}
+
+int counters_checksum() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 8; i = i + 1)
+    s = s + counters[i];
+  return clamp_nonneg(s);
+}
+|}
+
+let fs_c =
+  {|/* a tiny file table */
+struct file {
+  int inode;
+  int mode;
+  int owner;
+  int size;
+};
+
+struct file file_table[16];
+int file_count = 0;
+static int tables_built = 0;
+
+void fs_init() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    file_table[i].inode = 0;
+    file_table[i].mode = 0;
+    file_table[i].owner = 0;
+    file_table[i].size = 0;
+  }
+  tables_built = 1;
+}
+
+static int mode_allows(int mode, int uid, int owner) {
+  if (uid == 0)
+    return 1;
+  if (uid == owner)
+    return (mode & 4) != 0;
+  return (mode & 1) != 0;
+}
+
+int fs_count_open(int check_owner) {
+  int i;
+  int n = 0;
+  if (check_owner) {
+    for (i = 0; i < 16; i = i + 1) {
+      if (file_table[i].inode != 0 && file_table[i].owner == __getuid())
+        n = n + 1;
+    }
+  }
+  return n;
+}
+
+int sys_fs_open(int inode, int mode) {
+  int i;
+  if (file_count >= 16)
+    return -1;
+  i = file_count;
+  file_table[i].inode = inode;
+  file_table[i].mode = mode;
+  file_table[i].owner = __getuid();
+  file_table[i].size = 0;
+  file_count = file_count + 1;
+  return i;
+}
+
+/* CVE-A12: the index check stops at the table size, not at file_count,
+   leaking stale file entries (information disclosure) */
+static int fd_ok(int fd) { return fd >= 0 && fd < 16; }
+
+int sys_fs_read(int fd, int field) {
+  struct file *f;
+  if (!fd_ok(fd))
+    return -1;
+  f = &file_table[fd];
+  if (!mode_allows(f->mode, __getuid(), f->owner))
+    return -1;
+  if (field == 0)
+    return f->inode;
+  if (field == 1)
+    return f->size;
+  return f->mode;
+}
+
+/* CVE-A13: setattr lets any user change the owner field (chown with no
+   privilege check) */
+int sys_fs_setattr(int fd, int attr, int value) {
+  struct file *f;
+  if (fd < 0 || fd >= file_count)
+    return -1;
+  f = &file_table[fd];
+  if (attr == 1) {
+    f->mode = value;
+    return 0;
+  }
+  if (attr == 2) {
+    f->owner = value;
+    return 0;
+  }
+  return -1;
+}
+|}
+
+let net_c =
+  {|/* network buffers */
+int net_tx[32];
+int net_rx[32];
+int net_tx_len = 0;
+static int tx_limit = 32;
+
+static int frame_ok(int len) { return len <= tx_limit; }
+
+/* CVE-A14: length check happens after the copy (time-of-check bug
+   simplified): a long frame scribbles past net_tx */
+int sys_net_send(int src, int len) {
+  int i;
+  int *p = (int*)src;
+  for (i = 0; i < len; i = i + 1)
+    net_tx[i] = p[i];
+  if (!frame_ok(len))
+    return -1;
+  net_tx_len = len;
+  return len;
+}
+
+/* CVE-A15: negative index not rejected (signedness), allowing reads
+   below net_rx */
+int sys_net_recv(int idx) {
+  if (idx >= 32)
+    return -1;
+  return net_rx[idx];
+}
+|}
+
+let sock_c =
+  {|/* socket options; the struct-field CVE (CVE-2005-2709 analogue) is
+   fixed by adding a peer-credential field via shadow data */
+struct sock {
+  int proto;
+  int state;
+  int opt_flags;
+  int backlog;
+};
+
+struct sock sock_table[8];
+int sock_count = 0;
+static int sock_debug = 0;
+
+static int flags_ok(int val) { return val != -1; }
+
+void sock_init() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    sock_table[i].proto = 0;
+    sock_table[i].state = 0;
+    sock_table[i].opt_flags = 0;
+    sock_table[i].backlog = 0;
+  }
+  sock_count = 8;
+}
+
+/* CVE-A16: SO_PEERCRED-style option reports stale credentials: the
+   stored opt_flags word doubles as the peer uid, so any user can set a
+   fake peer uid and later pass peer checks */
+int sys_sock_opt(int idx, int op, int val) {
+  struct sock *s;
+  if (idx < 0 || idx >= 8)
+    return -1;
+  s = &sock_table[idx];
+  if (sock_debug)
+    __putc('S');
+  if (op == 1) {
+    if (!flags_ok(val))
+      return -1;
+    s->opt_flags = val;
+    return 0;
+  }
+  if (op == 2)
+    return s->opt_flags;
+  if (op == 3)
+    return s->state;
+  return -1;
+}
+
+int sock_peer_allows(int idx) {
+  struct sock *s = &sock_table[idx & 7];
+  if (s->opt_flags == 0)
+    return 0;
+  return 1;
+}
+|}
+
+let ipc_c =
+  {|/* message queue */
+int ipc_queue[16];
+int ipc_head = 0;
+int ipc_tail = 0;
+static int ipc_active = 0;
+
+static inline int slot_of(int v) { return v & 15; }
+
+int sys_ipc_send(int msg) {
+  int next = slot_of(ipc_tail + 1);
+  if (next == slot_of(ipc_head))
+    return -1;
+  ipc_queue[slot_of(ipc_tail)] = msg;
+  ipc_tail = ipc_tail + 1;
+  ipc_active = 1;
+  return 0;
+}
+
+/* CVE-A18: receive does not check queue emptiness, replaying stale
+   kernel words from the ring (info leak) */
+int sys_ipc_recv() {
+  int v = ipc_queue[slot_of(ipc_head)];
+  ipc_head = ipc_head + 1;
+  return v;
+}
+|}
+
+let mm_c =
+  {|/* memory accounting */
+int brk_limit = 4096;
+int cur_brk = 0;
+int mmap_count = 0;
+static int limit = 64;
+
+static int within_brk(int n) { return n <= brk_limit; }
+
+int sys_mm_brk(int n) {
+  if (n < 0)
+    return -1;
+  if (!within_brk(n))
+    return -1;
+  cur_brk = n;
+  return cur_brk;
+}
+
+/* CVE-A20: mmap count check uses the wrong limit variable, permitting
+   unbounded mappings (resource-limit bypass escalating to overwrite of
+   the adjacent quota table in the original advisory) */
+int sys_mm_mmap(int len) {
+  if (len <= 0)
+    return -1;
+  if (mmap_count >= brk_limit)
+    return -1;
+  mmap_count = mmap_count + 1;
+  return mmap_count;
+}
+
+static int clamp_nonneg(int v) {
+  if (v < 0)
+    return 0;
+  return v;
+}
+
+int mm_usage() { return clamp_nonneg(cur_brk + mmap_count * limit); }
+|}
+
+let signal_c =
+  {|/* signals */
+int pending_sig = 0;
+int sig_mask_word = 0;
+static int masks_used = 0;
+
+static int sig_valid(int s) { return s > 0 && s < 32; }
+
+/* CVE-A21: missing permission check lets any user signal pid 1 (kill
+   of privileged process -> escalation in the original advisory) */
+int sys_sig_send(int pid, int sig) {
+  if (!sig_valid(sig))
+    return -1;
+  pending_sig = sig;
+  if (pid == 1)
+    return 0;
+  return 0;
+}
+
+int sys_sig_mask(int mask) {
+  sig_mask_word = sig_mask_word | mask;
+  masks_used = 1;
+  return sig_mask_word;
+}
+|}
+
+let time_c =
+  {|/* time keeping */
+int time_offset = 0;
+int tz_minutes = 0;
+static int clock_set = 0;
+
+/* CVE-A23: settime allows any user to set the clock (missing root
+   check) */
+int sys_time_set(int t) {
+  time_offset = t - __gettick();
+  clock_set = 1;
+  return 0;
+}
+
+int sys_time_get() { return __gettick() + time_offset; }
+|}
+
+let tty_c =
+  {|/* terminal ioctls */
+int tty_mode = 0;
+int tty_owner = 1000;
+static int tty_debug = 0;
+
+static int is_owner() { return __getuid() == tty_owner; }
+
+int tty_mode_class(int mode) {
+  int c;
+  switch (mode) {
+  case 0:
+    c = 'r';
+    break;
+  case 1:
+  case 2:
+    c = 'c';
+    break;
+  case 3:
+    c = 'x';      /* falls through to the sanity clamp */
+  case 4:
+    c = c & 127;
+    break;
+  default:
+    c = '?';
+  }
+  return c;
+}
+
+/* CVE-A25: TIOCSTI-style injection: mode 7 pushes a character into the
+   console as if typed by the owner, with no ownership check */
+int sys_tty_ioctl(int op, int arg) {
+  if (op == 1) {
+    if (!is_owner() && __getuid() != 0)
+      return -1;
+    tty_mode = arg;
+    return 0;
+  }
+  if (op == 7) {
+    __putc(arg);
+    return 0;
+  }
+  if (tty_debug)
+    __putc('T');
+  return tty_mode;
+}
+|}
+
+let xattr_c =
+  {|/* extended attributes */
+int xattr_keys[8];
+int xattr_vals[8];
+int xattr_count = 0;
+static int table_cap = 8;
+
+static int find_key(int key) {
+  int i;
+  for (i = 0; i < xattr_count; i = i + 1) {
+    if (xattr_keys[i] == key)
+      return i;
+  }
+  return -1;
+}
+
+/* CVE-A26: set does not verify ownership of the security namespace
+   (keys above 100 are security.* and must be root-only) */
+int sys_xattr_set(int key, int val) {
+  int i = find_key(key);
+  if (i < 0) {
+    if (xattr_count >= table_cap)
+      return -1;
+    i = xattr_count;
+    xattr_count = xattr_count + 1;
+    xattr_keys[i] = key;
+  }
+  xattr_vals[i] = val;
+  return 0;
+}
+
+int sys_xattr_get(int key) {
+  int i = find_key(key);
+  if (i < 0)
+    return -1;
+  return xattr_vals[i];
+}
+|}
+
+let keyring_c =
+  {|/* in-kernel keyring */
+struct kkey {
+  int serial;
+  int owner;
+  int perm;
+  int payload;
+};
+
+struct kkey key_table[8];
+int key_count = 0;
+static int ring_ready = 0;
+
+extern int boot_token;
+
+void keyring_init() {
+  key_table[0].serial = 1;
+  key_table[0].owner = 0;
+  key_table[0].perm = 0;
+  key_table[0].payload = boot_token;
+  key_count = 1;
+  ring_ready = 1;
+}
+
+int sys_key_add(int payload) {
+  struct kkey *k;
+  if (key_count >= 8)
+    return -1;
+  k = &key_table[key_count];
+  k->serial = key_count + 1;
+  k->owner = __getuid();
+  k->perm = 1;
+  k->payload = payload;
+  key_count = key_count + 1;
+  return k->serial;
+}
+
+/* CVE-A29: permission check compares against the requesting serial
+   instead of the key's permission bits, leaking key 1 (the root key
+   holding the boot token) */
+int sys_key_read(int serial) {
+  int i;
+  for (i = 0; i < key_count; i = i + 1) {
+    if (key_table[i].serial == serial) {
+      if (key_table[i].owner != __getuid() && serial != 1)
+        return -1;
+      return key_table[i].payload;
+    }
+  }
+  return -1;
+}
+|}
+
+let quota_c =
+  {|/* disk quotas: initialisation pattern that the Table-1 custom-code
+   patches exercise */
+int quota_default = 0;
+int quota_table[8];
+int quota_used[8];
+static int tables_ready = 0;
+
+void quota_init() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    quota_table[i] = quota_default;
+    quota_used[i] = 0;
+  }
+  tables_ready = 1;
+}
+
+static int quota_room(int uid, int n) {
+  return quota_used[uid & 7] + n <= quota_table[uid & 7];
+}
+
+int sys_quota_set(int uid, int limit) {
+  if (__getuid() != 0)
+    return -1;
+  quota_table[uid & 7] = limit;
+  return 0;
+}
+
+/* CVE-A31: get leaks other users' usage without a permission check */
+int sys_quota_get(int uid, int field) {
+  if (field == 0)
+    return quota_table[uid & 7];
+  return quota_used[uid & 7];
+}
+
+int quota_charge(int uid, int n) {
+  if (!quota_room(uid, n))
+    return -1;
+  quota_used[uid & 7] = quota_used[uid & 7] + n;
+  return 0;
+}
+|}
+
+let audit_c =
+  {|/* audit ring buffer */
+int audit_ring[32];
+int audit_pos = 0;
+static int limit = 32;
+
+inline int audit_slot(int p) {
+  int s = p;
+  if (s < 0)
+    s = 0;
+  s = s % limit;
+  return s;
+}
+
+int sys_audit_log(int event) {
+  audit_ring[audit_slot(audit_pos)] = event;
+  audit_pos = audit_pos + 1;
+  return 0;
+}
+
+/* CVE-A33: reading the audit ring is supposed to be root-only */
+int sys_audit_read(int idx) {
+  return audit_ring[audit_slot(idx)];
+}
+|}
+
+let dst_c =
+  {|/* DVB dst driver (the CVE-2005-4639 pairing: this unit's static
+   "debug" collides with dst_ca.c's) */
+static int debug = 0;
+int dst_state = 0;
+
+int dst_command(int cmd) {
+  if (debug)
+    __putc('D');
+  dst_state = cmd;
+  return 0;
+}
+
+/* CVE-A34: tuner command accepts out-of-range band values, indexing
+   beyond the band table in the original advisory */
+int sys_dst_tune(int band) {
+  if (band > 8)
+    return -1;
+  dst_state = band;
+  return dst_command(band);
+}
+|}
+
+let dst_ca_c =
+  {|/* DVB conditional-access module (CVE-2005-4639 analogue unit) */
+static int debug = 1;
+int ca_slot_state = 0;
+
+extern int boot_token;
+
+/* CVE-A35: ca_get_slot_info copies a kernel struct (including the
+   session token) to the caller without checking the slot permission */
+int sys_dst_ca_info(int slot, int field) {
+  if (debug)
+    __putc('A');
+  if (slot < 0 || slot > 3)
+    return -1;
+  if (field == 0)
+    return ca_slot_state;
+  if (field == 1)
+    return boot_token;
+  return -1;
+}
+|}
+
+let video_c =
+  {|/* video4linux-ish ioctls */
+int video_fmt = 0;
+int video_buf_count = 0;
+static int buf_cap = 4;
+
+static int fmt_valid(int f) { return f >= 0 && f < 16; }
+
+static int buf_count_ok(int n) { return n * 4096 < buf_cap * 4096; }
+
+/* CVE-A39: ioctl multiplication overflows the buffer count check
+   (simplified integer-overflow pattern: large count wraps negative and
+   passes the limit test) */
+int sys_video_ioctl(int op, int arg) {
+  if (op == 1) {
+    if (!fmt_valid(arg))
+      return -1;
+    video_fmt = arg;
+    return 0;
+  }
+  if (op == 2) {
+    if (buf_count_ok(arg)) {
+      video_buf_count = arg;
+      return arg;
+    }
+    return -1;
+  }
+  return video_fmt;
+}
+|}
+
+let usb_c =
+  {|/* usb request queue */
+int usb_queue[8];
+int usb_pending = 0;
+static int submits_seen = 0;
+
+static int queue_full() { return usb_pending >= 8; }
+
+/* CVE-A40: submit stores the request before the full check, clobbering
+   the word after the queue when full */
+int sys_usb_submit(int req) {
+  usb_queue[usb_pending] = req;
+  if (queue_full())
+    return -1;
+  usb_pending = usb_pending + 1;
+  submits_seen = 1;
+  return usb_pending;
+}
+|}
+
+let random_c =
+  {|/* entropy pool */
+int pool[4];
+int pool_mixed = 0;
+static int mix_state = 7;
+
+static inline int mix(int v) {
+  mix_state = mix_state * 1103515245 + 12345;
+  return v ^ mix_state;
+}
+
+/* CVE-A42: reading the pool before it is mixed returns raw seed state
+   (predictable randomness) */
+int sys_random_read(int idx) {
+  return pool[idx & 3];
+}
+
+void random_mix_all() {
+  int i;
+  for (i = 0; i < 4; i = i + 1)
+    pool[i] = mix(pool[i]);
+  pool_mixed = 1;
+}
+|}
+
+let log_c =
+  {|/* kernel log */
+int log_level = 1;
+int log_written = 0;
+static int log_cap = 120;
+
+static int printable(int ch) { return ch >= 32 && ch < 127; }
+
+int sys_write_log(int ch) {
+  static int dropped = 0;
+  if (log_written >= log_cap)
+    return -1;
+  if (printable(ch)) {
+    __putc(ch);
+    log_written = log_written + 1;
+    return 0;
+  }
+  dropped = dropped + 1;
+  return -1;
+}
+|}
+
+let sched_c =
+  {|/* kernel worker: the non-quiescent function (the schedule() analogue
+   of §5.2 — always on the worker thread's stack) */
+int work_done = 0;
+int worker_generation = 1;
+
+void worker_loop() {
+  while (1) {
+    work_done = work_done + 1;
+    __yield();
+  }
+}
+
+static int clamp_nonneg(int v) {
+  if (v < 0)
+    return 0;
+  return v;
+}
+
+int worker_status() { return clamp_nonneg(work_done * worker_generation); }
+|}
+
+let tree () =
+  Patchfmt.Source_tree.of_list
+    [
+      ("kernel/entry.s", entry_s);
+      ("kernel/init.c", init_c);
+      ("kernel/creds.c", creds_c);
+      ("kernel/pipe.c", pipe_c);
+      ("kernel/proc.c", proc_c);
+      ("kernel/misc.c", misc_c);
+      ("kernel/counters.c", counters_c);
+      ("kernel/fs.c", fs_c);
+      ("kernel/net.c", net_c);
+      ("kernel/sock.c", sock_c);
+      ("kernel/ipc.c", ipc_c);
+      ("kernel/mm.c", mm_c);
+      ("kernel/signal.c", signal_c);
+      ("kernel/time.c", time_c);
+      ("kernel/tty.c", tty_c);
+      ("kernel/xattr.c", xattr_c);
+      ("kernel/keyring.c", keyring_c);
+      ("kernel/quota.c", quota_c);
+      ("kernel/audit.c", audit_c);
+      ("kernel/dst.c", dst_c);
+      ("kernel/dst_ca.c", dst_ca_c);
+      ("kernel/video.c", video_c);
+      ("kernel/usb.c", usb_c);
+      ("kernel/random.c", random_c);
+      ("kernel/log.c", log_c);
+      ("kernel/sched.c", sched_c);
+    ]
+
+(* init functions the boot sequence calls, in order *)
+let init_functions =
+  [ "kernel_init"; "fs_init"; "sock_init"; "keyring_init"; "quota_init";
+    "random_mix_all" ]

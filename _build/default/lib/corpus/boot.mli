@@ -1,0 +1,26 @@
+(** Booting the base kernel into a machine: build (distro-style, no
+    function sections), link, create the VM, run the init functions, seed
+    the task table, and optionally start kernel worker threads (which make
+    [worker_loop] non-quiescent, as §5.2 describes for [schedule]). *)
+
+type booted = {
+  build : Kbuild.build;
+  image : Klink.Image.t;
+  machine : Kernel.Machine.t;
+}
+
+(** [boot ?workers ?tree ()] boots [tree] (default {!Base_kernel.tree}).
+    [workers] (default 0) kernel worker threads are spawned. *)
+val boot : ?workers:int -> ?tree:Patchfmt.Source_tree.t -> unit -> booted
+
+(** [syscall b ~uid nr args] invokes a syscall through the entry path the
+    way a user thread would (for host-side checks). *)
+val syscall : booted -> uid:int -> int -> int32 list -> (int32, Kernel.Machine.fault) result
+
+(** [read_global b name] reads a 32-bit kernel global through kallsyms.
+    @raise Failure if the symbol is missing or ambiguous. *)
+val read_global : booted -> string -> int32
+
+(** The secret planted at boot ([boot_token]); exploit checks compare
+    leaked values against it. *)
+val secret : int32

@@ -1,0 +1,64 @@
+(** The synthetic CVE corpus: 64 security patches against the base
+    kernel, mirroring the structure of the paper's evaluation set
+    (§6.1) — all with greater consequences than denial of service
+    (privilege escalation ~2/3, information disclosure ~1/3), mostly
+    small patches, eight requiring custom update-time code (Table 1:
+    seven "changes data init", one "adds field to struct"). *)
+
+type consequence = Priv_escalation | Info_disclosure
+
+type custom_reason = Changes_data_init | Adds_struct_field
+
+val reason_to_string : custom_reason -> string
+
+type t = {
+  id : string;
+  file : string;  (** primary unit the patch touches *)
+  desc : string;
+  consequence : consequence;
+  (* source fix: (file, old snippet, new snippet), replace-once each *)
+  fix : (string * string * string) list;
+  (* Table-1 entries carry custom update-time code appended to [file] *)
+  custom : (custom_reason * string) option;
+}
+
+(** All 64 CVEs, in corpus order. *)
+val all : t list
+
+val find : string -> t option
+
+(** [fixed_tree cve base] is the source tree with the mainline fix
+    applied (no custom code). @raise Failure when a snippet is missing —
+    corpus self-check. *)
+val fixed_tree : t -> Patchfmt.Source_tree.t -> Patchfmt.Source_tree.t
+
+(** [applies_to cve tree] is true when every snippet the fix rewrites is
+    present in [tree] — i.e. the vulnerability exists in that kernel
+    version (§6.2: "no single Linux kernel version needs all 64
+    patches"). *)
+val applies_to : t -> Patchfmt.Source_tree.t -> bool
+
+(** [fixed_tree_opt cve tree] is [fixed_tree] returning [None] instead of
+    raising when the fix does not apply to this source state. *)
+val fixed_tree_opt :
+  t -> Patchfmt.Source_tree.t -> Patchfmt.Source_tree.t option
+
+(** [hot_tree_opt cve tree] likewise, with custom code appended. *)
+val hot_tree_opt :
+  t -> Patchfmt.Source_tree.t -> Patchfmt.Source_tree.t option
+
+(** [hot_tree cve base] additionally appends the custom update code (for
+    the eight Table-1 entries); equal to [fixed_tree] otherwise. *)
+val hot_tree : t -> Patchfmt.Source_tree.t -> Patchfmt.Source_tree.t
+
+(** [mainline_patch cve base] is the upstream patch — what Figure 3
+    counts. *)
+val mainline_patch : t -> Patchfmt.Source_tree.t -> Patchfmt.Diff.t
+
+(** [hot_patch cve base] is the patch fed to ksplice-create (mainline
+    plus custom code where needed). *)
+val hot_patch : t -> Patchfmt.Source_tree.t -> Patchfmt.Diff.t
+
+(** [custom_code_lines cve] counts the logical (semicolon-terminated)
+    lines of custom code, as Table 1 does. 0 when no custom code. *)
+val custom_code_lines : t -> int

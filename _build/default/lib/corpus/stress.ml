@@ -1,0 +1,126 @@
+module Machine = Kernel.Machine
+module Image = Klink.Image
+
+type report = {
+  ok : bool;
+  threads_run : int;
+  failures : string list;
+}
+
+(* Each worker owns counter slot [tid] and checks monotonicity and
+   syscall sanity on every round; any violated invariant is reported
+   through the exit code. Rounds exercise the counters, fs, xattr,
+   keyring, ipc, audit and scheduler paths.
+
+   Allocation syscalls (fs_open, key_add, first xattr_set) are performed
+   once, sequentially, before the workers start: the simulated kernel has
+   no locks, so concurrent table allocation races exactly as unlocked C
+   would. The concurrent loop sticks to per-worker slots, which are
+   race-free. *)
+let worker_src iterations =
+  Printf.sprintf
+    {|
+int main(int slot, int fd, int serial) {
+  int i;
+  int v;
+  int prev = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    if (__syscall2(9, slot, 1) < 0)   /* counter_add */
+      return 100;
+    v = __syscall1(10, slot);         /* counter_get */
+    if (v <= prev)
+      return 101;
+    prev = v;
+    if (__syscall0(0) != 1)           /* getpid */
+      return 102;
+    if (__syscall0(37) != __getuid()) /* uid_get */
+      return 103;
+    if (__syscall2(12, fd, 0) != 500 + slot)  /* fs_read inode */
+      return 104;
+    if (__syscall2(26, slot, 900 + i) < 0)    /* xattr_set own key */
+      return 105;
+    if (__syscall1(27, slot) != 900 + i)      /* xattr_get */
+      return 106;
+    if (__syscall1(29, serial) != 4000 + slot) /* key_read own key */
+      return 107;
+    __syscall1(17, 50 + slot);        /* ipc_send (ring is shared) */
+    __syscall0(18);                   /* ipc_recv: cross-thread, unchecked */
+    __syscall1(32, 7000 + slot);      /* audit_log */
+    __syscall0(46);                   /* sched_yield */
+  }
+  return 0;
+}
+|}
+    iterations
+
+let run ?(threads = 4) ?(iterations = 25) ?during (b : Boot.booted) =
+  let failures = ref [] in
+  let fail fmt = Format.kasprintf (fun m -> failures := m :: !failures) fmt in
+  let src = worker_src iterations in
+  let entry = Userprog.load b.machine ~name:"stress" ~src in
+  (* sequential setup: allocate each worker's file, key and xattr slot *)
+  let setup slot =
+    let sc nr args =
+      match Boot.syscall b ~uid:1000 nr args with
+      | Ok v -> Int32.to_int v
+      | Error f ->
+        fail "setup syscall %d faulted: %a" nr Machine.pp_fault f;
+        -1
+    in
+    let fd = sc 11 [ Int32.of_int (500 + slot); 4l ] in
+    let serial = sc 28 [ Int32.of_int (4000 + slot) ] in
+    ignore (sc 26 [ Int32.of_int slot; 0l ] : int);
+    (fd, serial)
+  in
+  let prepared = List.init threads (fun i -> (i, setup i)) in
+  let ths =
+    List.map
+      (fun (i, (fd, serial)) ->
+        Machine.spawn b.machine
+          ~name:(Printf.sprintf "stress/%d" i)
+          ~uid:1000 ~entry
+          ~args:[ Int32.of_int i; Int32.of_int fd; Int32.of_int serial ])
+      prepared
+  in
+  (* let the workload get in flight, run the mid-flight action, then
+     drive everything to completion *)
+  ignore (Machine.run b.machine ~steps:5_000 : int);
+  (match during with Some f -> f () | None -> ());
+  let budget = ref 600 in
+  let unfinished () =
+    List.exists
+      (fun (th : Machine.thread) ->
+        match th.state with
+        | Machine.Runnable | Machine.Sleeping _ -> true
+        | _ -> false)
+      ths
+  in
+  while unfinished () && !budget > 0 do
+    decr budget;
+    if Machine.run b.machine ~steps:20_000 = 0 then budget := 0
+  done;
+  List.iteri
+    (fun i (th : Machine.thread) ->
+      match th.state with
+      | Machine.Exited 0l -> ()
+      | Machine.Exited v -> fail "thread %d: invariant check %ld failed" i v
+      | Machine.Faulted f ->
+        fail "thread %d faulted: %a" i Machine.pp_fault f
+      | Machine.Runnable | Machine.Sleeping _ ->
+        fail "thread %d did not finish" i)
+    ths;
+  (* host-side validation of kernel state *)
+  (match
+     List.filter
+       (fun (s : Image.syminfo) -> String.equal s.name "counters")
+       (Machine.kallsyms b.machine)
+   with
+   | [ sym ] ->
+     List.iteri
+       (fun i _ ->
+         let v = Machine.read_i32 b.machine (sym.addr + (4 * i)) in
+         if Int32.to_int v <> iterations then
+           fail "counter %d is %ld, expected %d" i v iterations)
+       ths
+   | _ -> fail "counters symbol missing or ambiguous");
+  { ok = !failures = []; threads_run = threads; failures = List.rev !failures }

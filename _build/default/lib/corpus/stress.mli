@@ -1,0 +1,17 @@
+(** Correctness-checking stress workload (the paper's POSIX stress-test
+    stand-in, §6.2): several user threads hammer syscalls with
+    self-checking invariants, and the host validates kernel state
+    afterwards. Run after (or across) an update to detect corruption. *)
+
+type report = {
+  ok : bool;
+  threads_run : int;
+  failures : string list;
+}
+
+(** [run ?threads ?iterations b] spawns the workload threads and drives
+    them to completion. [during] (if given) is called once while the
+    workload is mid-flight — used to apply hot updates under load. *)
+val run :
+  ?threads:int -> ?iterations:int -> ?during:(unit -> unit) -> Boot.booted ->
+  report

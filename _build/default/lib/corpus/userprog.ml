@@ -1,0 +1,47 @@
+module Machine = Kernel.Machine
+module Image = Klink.Image
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+let compile ~name ~src =
+  match
+    Minic.Driver.compile ~options:Minic.Driver.run_build ~unit_name:name src
+  with
+  | { obj; _ } -> obj
+  | exception Minic.Driver.Error m -> err "%s" m
+
+let load machine ~name ~src =
+  let obj = compile ~name ~src in
+  (* measure at a probe base, then place the image in module memory *)
+  let probe = Image.link ~base:0x40_0000 [ obj ] in
+  let base = Machine.alloc_module machine ~size:probe.size ~align:4096 in
+  let img =
+    try Image.link ~base [ obj ]
+    with Image.Link_error m -> err "%s: %s" name m
+  in
+  Machine.write_bytes machine base img.data;
+  match Image.lookup_global img "main" with
+  | Some s -> s.addr
+  | None -> err "%s: no main function" name
+
+let run ?(max_steps = 2_000_000) ?(uid = 1000) machine ~name ~src ~args () =
+  let entry = load machine ~name ~src in
+  let th = Machine.spawn machine ~name ~uid ~entry ~args in
+  let result = ref None in
+  let spent = ref 0 in
+  while Option.is_none !result do
+    (match th.state with
+     | Machine.Exited v -> result := Some (Ok v)
+     | Machine.Faulted f -> result := Some (Error f)
+     | _ when !spent >= max_steps -> result := Some (Error Machine.Step_limit)
+     | _ ->
+       let n = Machine.run machine ~steps:10_000 in
+       spent := !spent + n;
+       if n = 0 then
+         (* deadlock: nothing runnable and this thread never finished *)
+         result := Some (Error Machine.Step_limit));
+    ()
+  done;
+  (Option.get !result, th)

@@ -1,0 +1,55 @@
+module Tree = Patchfmt.Source_tree
+
+type t = {
+  name : string;
+  tree : Tree.t;
+  incorporated : string list;
+}
+
+(* the era of a CVE, from its id year *)
+let era (cve : Cve.t) =
+  match String.sub cve.id 4 4 with
+  | "2005" -> 2005
+  | "2006" -> 2006
+  | "2007" -> 2007
+  | _ -> 2008
+
+(* Fold the mainline fixes of all CVEs up to [upto] into the tree,
+   skipping any whose context has drifted away (exactly what happens to
+   stable-branch backports). *)
+let incorporate ~upto tree =
+  List.fold_left
+    (fun (tree, done_ids) (cve : Cve.t) ->
+      if era cve <= upto then
+        match Cve.fixed_tree_opt cve tree with
+        | Some tree' -> (tree', cve.id :: done_ids)
+        | None -> (tree, done_ids)
+      else (tree, done_ids))
+    (tree, []) Cve.all
+
+let all () =
+  let base = Base_kernel.tree () in
+  let mk name upto =
+    match upto with
+    | None -> { name; tree = base; incorporated = [] }
+    | Some y ->
+      let tree, ids = incorporate ~upto:y base in
+      { name; tree; incorporated = List.rev ids }
+  in
+  [
+    mk "linux-sim-2005.05" None;
+    mk "linux-sim-2006.06" (Some 2005);
+    mk "linux-sim-2007.06" (Some 2006);
+    mk "linux-sim-2008.05" (Some 2007);
+  ]
+
+let applicable v =
+  List.filter
+    (fun (c : Cve.t) ->
+      (not (List.mem c.id v.incorporated)) && Cve.applies_to c v.tree)
+    Cve.all
+
+let hot_patch cve v =
+  Option.map
+    (fun fixed -> Patchfmt.Diff.diff_trees v.tree fixed)
+    (Cve.hot_tree_opt cve v.tree)

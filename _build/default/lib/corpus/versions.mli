@@ -1,0 +1,27 @@
+(** Simulated kernel releases (§6.2 methodology).
+
+    The paper tested the 64 patches against fourteen kernels — six Debian
+    releases and eight vanilla releases — because "no single Linux kernel
+    version needs all 64 of the security patches": later releases already
+    incorporate earlier fixes. We model a release line the same way: each
+    release is the base source with every earlier era's mainline fixes
+    folded in, so a CVE only "applies" to releases that still contain its
+    vulnerable code. *)
+
+type t = {
+  name : string;  (** e.g. "linux-sim-2006.06" *)
+  tree : Patchfmt.Source_tree.t;
+  incorporated : string list;  (** CVE ids whose fixes this release ships *)
+}
+
+(** The release line, oldest first. The oldest release is the base tree
+    with every vulnerability present. *)
+val all : unit -> t list
+
+(** [applicable v] lists the corpus CVEs whose vulnerable code is present
+    in release [v]. *)
+val applicable : t -> Cve.t list
+
+(** [hot_patch cve v] is the Ksplice input patch for [cve] against
+    release [v] ([None] when the CVE does not apply there). *)
+val hot_patch : Cve.t -> t -> Patchfmt.Diff.t option

@@ -1,0 +1,77 @@
+type unit_build = {
+  source_name : string;
+  obj : Objfile.t;
+  inline_decisions : Minic.Inline.decision list;
+}
+
+type build = {
+  units : unit_build list;
+  options : Minic.Driver.options;
+}
+
+exception Build_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Build_error m)) fmt
+
+(* Content-addressed compile cache: (digest(source), options fingerprint)
+   -> compiled unit. Makes the post build recompile only patched units. *)
+let cache : (string, unit_build) Hashtbl.t = Hashtbl.create 64
+
+let options_fingerprint (o : Minic.Driver.options) =
+  Printf.sprintf "fs=%b;al=%b;inl=%b;%d;%d" o.codegen.function_sections
+    o.codegen.align_loops o.inline_enabled o.auto_inline_max
+    o.explicit_inline_max
+
+let has_suffix s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let compile_one ~options path contents =
+  let key =
+    Digest.to_hex (Digest.string contents)
+    ^ "|" ^ path ^ "|" ^ options_fingerprint options
+  in
+  match Hashtbl.find_opt cache key with
+  | Some u -> u
+  | None ->
+    let u =
+      if has_suffix path ".c" then begin
+        match Minic.Driver.compile ~options ~unit_name:path contents with
+        | { obj; inline_decisions } ->
+          { source_name = path; obj; inline_decisions }
+        | exception Minic.Driver.Error m -> err "%s" m
+      end
+      else begin
+        match
+          Asm.Assembler.assemble ~unit_name:path
+            ~function_sections:options.codegen.function_sections contents
+        with
+        | obj -> { source_name = path; obj; inline_decisions = [] }
+        | exception Asm.Assembler.Error { line; msg } ->
+          err "%s:%d: %s" path line msg
+      end
+    in
+    Hashtbl.replace cache key u;
+    u
+
+let build_tree ~options tree =
+  let units =
+    Patchfmt.Source_tree.bindings tree
+    |> List.filter (fun (path, _) ->
+         has_suffix path ".c" || has_suffix path ".s")
+    |> List.map (fun (path, contents) -> compile_one ~options path contents)
+  in
+  { units; options }
+
+let objects b = List.map (fun u -> u.obj) b.units
+
+let find_unit b name =
+  List.find_opt (fun u -> String.equal u.source_name name) b.units
+
+let inlined_callees b =
+  List.concat_map
+    (fun u ->
+      List.map
+        (fun (d : Minic.Inline.decision) -> (u.source_name, d.caller, d.callee))
+        u.inline_decisions)
+    b.units

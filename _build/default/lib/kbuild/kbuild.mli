@@ -1,0 +1,36 @@
+(** Kernel build system: compile a source tree ([.c] MiniC units and [.s]
+    assembly units) into object files.
+
+    Builds are deterministic — the same source and options always produce
+    byte-identical objects — which is the property that lets Ksplice's
+    pre build reproduce the running kernel's code (§4.3: using the same
+    compiler and options "is advisable"). A content-addressed cache makes
+    the post build recompile only units the patch touched, like kbuild. *)
+
+type unit_build = {
+  source_name : string;  (** e.g. ["kernel/sched.c"] *)
+  obj : Objfile.t;
+  inline_decisions : Minic.Inline.decision list;
+}
+
+type build = {
+  units : unit_build list;
+  options : Minic.Driver.options;
+}
+
+exception Build_error of string
+
+(** [build_tree ~options tree] compiles every [.c] and [.s] file of the
+    tree, in path order. @raise Build_error naming the failing unit. *)
+val build_tree : options:Minic.Driver.options -> Patchfmt.Source_tree.t -> build
+
+(** [objects b] lists the object files in build order. *)
+val objects : build -> Objfile.t list
+
+(** [find_unit b name] returns the unit built from source file [name]. *)
+val find_unit : build -> string -> unit_build option
+
+(** [inlined_callees b] maps each function to the functions whose bodies
+    were inlined into it, per unit: [(unit, caller, callee)] triples.
+    Feeds the §6.3 inlining statistics and the pre-post safety story. *)
+val inlined_callees : build -> (string * string * string) list

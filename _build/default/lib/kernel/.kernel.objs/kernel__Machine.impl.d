@@ -1,0 +1,1 @@
+lib/kernel/machine.ml: Array Buffer Bytes Char Format Fun Hashtbl Int32 Klink List Option Printf Vmisa

@@ -1,0 +1,593 @@
+module Isa = Vmisa.Isa
+
+type fault =
+  | Illegal_instruction of int
+  | Memory_violation of int
+  | Divide_by_zero of int
+  | Privilege_violation of int
+  | No_syscall_entry
+  | Step_limit
+
+let pp_fault ppf = function
+  | Illegal_instruction pc ->
+    Format.fprintf ppf "illegal instruction at %#x" pc
+  | Memory_violation a -> Format.fprintf ppf "memory violation at %#x" a
+  | Divide_by_zero pc -> Format.fprintf ppf "divide by zero at %#x" pc
+  | Privilege_violation pc ->
+    Format.fprintf ppf "privileged escape from unprivileged code at %#x" pc
+  | No_syscall_entry -> Format.fprintf ppf "syscall with no entry point"
+  | Step_limit -> Format.fprintf ppf "step limit exceeded"
+
+type thread_state =
+  | Runnable
+  | Sleeping of int
+  | Exited of int32
+  | Faulted of fault
+
+type thread = {
+  tid : int;
+  name : string;
+  regs : int32 array;
+  mutable pc : int;
+  stack_lo : int;
+  stack_hi : int;
+  mutable state : thread_state;
+  mutable uid : int;
+  mutable flag_eq : bool;
+  mutable flag_lt : bool;
+}
+
+type t = {
+  mem : Bytes.t;
+  mem_size : int;
+  img : Klink.Image.t;
+  mutable syms : Klink.Image.syminfo list;
+  mutable priv : (int * int) list;
+  mutable threads_rev : thread list;
+  mutable next_tid : int;
+  mutable tick_count : int;
+  console_buf : Buffer.t;
+  mutable module_cursor : int;
+  mutable next_stack_top : int;
+  mutable syscall_entry_addr : int option;
+  (* shadow data structures: (object addr, key) -> shadow addr *)
+  shadows : (int * int, int) Hashtbl.t;
+  exit_gadget : int;
+  sentinel : int;
+  call_stack_hi : int;
+  call_stack_lo : int;
+  mutable in_call_function : bool;
+}
+
+exception Vm_fault of fault
+
+let quantum = 64
+let stack_size = 64 * 1024
+let stack_guard = 4096
+
+let create ?(mem_size = 0x0200_0000) (img : Klink.Image.t) =
+  let mem = Bytes.make mem_size '\000' in
+  if img.base + img.size > mem_size - 0x10000 then
+    invalid_arg "Machine.create: image does not fit";
+  Bytes.blit img.data 0 mem img.base (Bytes.length img.data);
+  let exit_gadget = mem_size - 0x10 in
+  let sentinel = mem_size - 0x20 in
+  (* exit gadget: mov r1, r0; int 1 — lets spawned entries simply return *)
+  let pos = ref exit_gadget in
+  List.iter
+    (fun i -> pos := !pos + Isa.encode mem !pos i)
+    [ Isa.Mov_rr (Isa.R1, Isa.R0); Isa.Int 1 ];
+  ignore (Isa.encode mem sentinel Isa.Hlt : int);
+  let t =
+    {
+      mem;
+      mem_size;
+      img;
+      syms = img.kallsyms;
+      priv = [ img.text_range ];
+      threads_rev = [];
+      next_tid = 1;
+      tick_count = 0;
+      console_buf = Buffer.create 256;
+      module_cursor = (img.base + img.size + 0x1_0000 + 0xfff) land lnot 0xfff;
+      next_stack_top = mem_size - 0x4000;
+      syscall_entry_addr = None;
+      shadows = Hashtbl.create 16;
+      exit_gadget;
+      sentinel;
+      call_stack_hi = mem_size - 0x100;
+      call_stack_lo = mem_size - 0x3000;
+      in_call_function = false;
+    }
+  in
+  (match Klink.Image.lookup_global img "syscall_entry" with
+   | Some s -> t.syscall_entry_addr <- Some s.addr
+   | None -> ());
+  t
+
+let image t = t.img
+let tick t = t.tick_count
+let console t = Buffer.contents t.console_buf
+let kallsyms t = t.syms
+let add_kallsyms t more = t.syms <- t.syms @ more
+
+let remove_kallsyms t pred =
+  t.syms <- List.filter (fun s -> not (pred s)) t.syms
+let privileged_ranges t = t.priv
+let add_privileged_range t r = t.priv <- r :: t.priv
+let set_syscall_entry t a = t.syscall_entry_addr <- Some a
+let syscall_entry t = t.syscall_entry_addr
+
+(* --- memory --- *)
+
+let check t addr size =
+  if addr < 0x1000 || addr + size > t.mem_size then
+    raise (Vm_fault (Memory_violation addr))
+
+let read_u8 t a =
+  check t a 1;
+  Bytes.get_uint8 t.mem a
+
+let read_i32 t a =
+  check t a 4;
+  Bytes.get_int32_le t.mem a
+
+let read_bytes t a n =
+  check t a (max n 1);
+  Bytes.sub t.mem a n
+
+let write_u8 t a v =
+  check t a 1;
+  Bytes.set_uint8 t.mem a (v land 0xff)
+
+let write_i32 t a v =
+  check t a 4;
+  Bytes.set_int32_le t.mem a v
+
+let write_bytes t a b =
+  check t a (max (Bytes.length b) 1);
+  Bytes.blit b 0 t.mem a (Bytes.length b)
+
+let alloc_module t ~size ~align =
+  let align = max 1 align in
+  let addr = (t.module_cursor + align - 1) / align * align in
+  let next = addr + max size 1 in
+  if next > t.next_stack_top - (64 * 1024) then
+    failwith "Machine.alloc_module: module area exhausted";
+  t.module_cursor <- next;
+  addr
+
+(* --- threads --- *)
+
+let threads t = List.rev t.threads_rev
+let find_thread t tid = List.find_opt (fun th -> th.tid = tid) (threads t)
+
+let push_on th t v =
+  let sp = Int32.to_int th.regs.(8) - 4 in
+  if sp < th.stack_lo then raise (Vm_fault (Memory_violation sp));
+  check t sp 4;
+  Bytes.set_int32_le t.mem sp v;
+  th.regs.(8) <- Int32.of_int sp
+
+let spawn t ~name ~uid ~entry ~args =
+  let stack_hi = t.next_stack_top in
+  let stack_lo = stack_hi - stack_size in
+  if stack_lo <= t.module_cursor then
+    failwith "Machine.spawn: out of stack space";
+  t.next_stack_top <- stack_lo - stack_guard;
+  let th =
+    {
+      tid = t.next_tid;
+      name;
+      regs = Array.make 9 0l;
+      pc = entry;
+      stack_lo;
+      stack_hi;
+      state = Runnable;
+      uid;
+      flag_eq = false;
+      flag_lt = false;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  th.regs.(8) <- Int32.of_int stack_hi;
+  List.iter (fun v -> push_on th t v) (List.rev args);
+  push_on th t (Int32.of_int t.exit_gadget);
+  t.threads_rev <- th :: t.threads_rev;
+  th
+
+(* --- interpreter --- *)
+
+let in_priv t pc = List.exists (fun (lo, hi) -> pc >= lo && pc < hi) t.priv
+
+let reg th r = th.regs.(Isa.reg_to_int r)
+let set_reg th r v = th.regs.(Isa.reg_to_int r) <- v
+
+let cond_holds th = function
+  | Isa.Eq -> th.flag_eq
+  | Isa.Ne -> not th.flag_eq
+  | Isa.Lt -> th.flag_lt
+  | Isa.Ge -> not th.flag_lt
+  | Isa.Gt -> (not th.flag_lt) && not th.flag_eq
+  | Isa.Le -> th.flag_lt || th.flag_eq
+
+let set_flags th a b =
+  th.flag_eq <- Int32.equal a b;
+  th.flag_lt <- Int32.compare a b < 0
+
+let load t width addr =
+  match width with
+  | Isa.W8 -> Int32.of_int (read_u8 t addr)
+  | Isa.W16 ->
+    check t addr 2;
+    Int32.of_int (Bytes.get_uint16_le t.mem addr)
+  | Isa.W32 -> read_i32 t addr
+
+let store t width addr v =
+  match width with
+  | Isa.W8 -> write_u8 t addr (Int32.to_int v land 0xff)
+  | Isa.W16 ->
+    check t addr 2;
+    Bytes.set_uint16_le t.mem addr (Int32.to_int v land 0xffff)
+  | Isa.W32 -> write_i32 t addr v
+
+let sext8 v = Int32.shift_right (Int32.shift_left v 24) 24
+let sext16 v = Int32.shift_right (Int32.shift_left v 16) 16
+
+let do_int t th code =
+  match code with
+  | 0 ->
+    Buffer.add_char t.console_buf
+      (Char.chr (Int32.to_int (reg th Isa.R1) land 0xff));
+    `Ok
+  | 1 ->
+    th.state <- Exited (reg th Isa.R1);
+    `Stop
+  | 2 -> `Yield
+  | 3 ->
+    set_reg th Isa.R0 (Int32.of_int t.tick_count);
+    `Ok
+  | 4 ->
+    set_reg th Isa.R0 (Int32.of_int th.uid);
+    `Ok
+  | 5 ->
+    (* privileged: only kernel/module text may change credentials *)
+    if not (in_priv t th.pc) then
+      raise (Vm_fault (Privilege_violation th.pc));
+    th.uid <- Int32.to_int (reg th Isa.R1);
+    `Ok
+  | 6 ->
+    th.state <-
+      Sleeping (t.tick_count + max 0 (Int32.to_int (reg th Isa.R1)));
+    `Sleep
+  | 8 ->
+    (* shadow_attach(obj, key, size) -> addr; zero-filled, idempotent *)
+    let obj = Int32.to_int (reg th Isa.R1)
+    and key = Int32.to_int (reg th Isa.R2)
+    and size = Int32.to_int (reg th Isa.R3) in
+    let addr =
+      match Hashtbl.find_opt t.shadows (obj, key) with
+      | Some a -> a
+      | None ->
+        let a = alloc_module t ~size:(max 4 size) ~align:4 in
+        Hashtbl.replace t.shadows (obj, key) a;
+        a
+    in
+    set_reg th Isa.R0 (Int32.of_int addr);
+    `Ok
+  | 9 ->
+    let obj = Int32.to_int (reg th Isa.R1)
+    and key = Int32.to_int (reg th Isa.R2) in
+    set_reg th Isa.R0
+      (Int32.of_int
+         (Option.value ~default:0 (Hashtbl.find_opt t.shadows (obj, key))));
+    `Ok
+  | 10 ->
+    let obj = Int32.to_int (reg th Isa.R1)
+    and key = Int32.to_int (reg th Isa.R2) in
+    Hashtbl.remove t.shadows (obj, key);
+    `Ok
+  | 0x80 -> (
+    match t.syscall_entry_addr with
+    | None -> raise (Vm_fault No_syscall_entry)
+    | Some entry ->
+      (* behaves like a call: push the return address, enter the kernel *)
+      let next = th.pc + Isa.length (Isa.Int 0x80) in
+      push_on th t (Int32.of_int next);
+      th.pc <- entry;
+      `Jumped)
+  | _ -> raise (Vm_fault (Illegal_instruction th.pc))
+
+(* Execute one instruction. Returns [`Ok | `Yield | `Stop]. *)
+let step t th =
+  let pc = th.pc in
+  let insn, len =
+    try Isa.decode (fun a -> check t a 1; Bytes.get_uint8 t.mem a) pc
+    with Isa.Decode_error _ -> raise (Vm_fault (Illegal_instruction pc))
+  in
+  let next = pc + len in
+  let jump_rel disp = th.pc <- next + disp in
+  let alu f a b =
+    set_reg th a (f (reg th a) (reg th b));
+    th.pc <- next;
+    `Ok
+  in
+  let shift_amount v = Int32.to_int v land 31 in
+  match insn with
+  | Isa.Hlt ->
+    th.state <- Exited 0l;
+    `Stop
+  | Isa.Nop _ ->
+    th.pc <- next;
+    `Ok
+  | Isa.Mov_rr (a, b) ->
+    set_reg th a (reg th b);
+    th.pc <- next;
+    `Ok
+  | Isa.Mov_ri (a, v) ->
+    set_reg th a v;
+    th.pc <- next;
+    `Ok
+  | Isa.Load (w, rd, rb, off) ->
+    set_reg th rd (load t w (Int32.to_int (reg th rb) + off));
+    th.pc <- next;
+    `Ok
+  | Isa.Store (w, rb, off, rs) ->
+    store t w (Int32.to_int (reg th rb) + off) (reg th rs);
+    th.pc <- next;
+    `Ok
+  | Isa.Load_abs (w, rd, a) ->
+    set_reg th rd (load t w (Int32.to_int a));
+    th.pc <- next;
+    `Ok
+  | Isa.Store_abs (w, a, rs) ->
+    store t w (Int32.to_int a) (reg th rs);
+    th.pc <- next;
+    `Ok
+  | Isa.Add (a, b) -> alu Int32.add a b
+  | Isa.Sub (a, b) -> alu Int32.sub a b
+  | Isa.Mul (a, b) -> alu Int32.mul a b
+  | Isa.Div (a, b) ->
+    if Int32.equal (reg th b) 0l then raise (Vm_fault (Divide_by_zero pc));
+    alu Int32.div a b
+  | Isa.Mod (a, b) ->
+    if Int32.equal (reg th b) 0l then raise (Vm_fault (Divide_by_zero pc));
+    alu Int32.rem a b
+  | Isa.And (a, b) -> alu Int32.logand a b
+  | Isa.Or (a, b) -> alu Int32.logor a b
+  | Isa.Xor (a, b) -> alu Int32.logxor a b
+  | Isa.Shl (a, b) -> alu (fun x y -> Int32.shift_left x (shift_amount y)) a b
+  | Isa.Shr (a, b) ->
+    alu (fun x y -> Int32.shift_right_logical x (shift_amount y)) a b
+  | Isa.Sar (a, b) -> alu (fun x y -> Int32.shift_right x (shift_amount y)) a b
+  | Isa.Addi (a, v) ->
+    set_reg th a (Int32.add (reg th a) v);
+    th.pc <- next;
+    `Ok
+  | Isa.Cmp (a, b) ->
+    set_flags th (reg th a) (reg th b);
+    th.pc <- next;
+    `Ok
+  | Isa.Cmpi (a, v) ->
+    set_flags th (reg th a) v;
+    th.pc <- next;
+    `Ok
+  | Isa.Neg a ->
+    set_reg th a (Int32.neg (reg th a));
+    th.pc <- next;
+    `Ok
+  | Isa.Not a ->
+    set_reg th a (Int32.lognot (reg th a));
+    th.pc <- next;
+    `Ok
+  | Isa.Setcc (c, a) ->
+    set_reg th a (if cond_holds th c then 1l else 0l);
+    th.pc <- next;
+    `Ok
+  | Isa.Jmp d ->
+    jump_rel (Int32.to_int d);
+    `Ok
+  | Isa.Jmp_s d ->
+    jump_rel d;
+    `Ok
+  | Isa.Jcc (c, d) ->
+    if cond_holds th c then jump_rel (Int32.to_int d) else th.pc <- next;
+    `Ok
+  | Isa.Jcc_s (c, d) ->
+    if cond_holds th c then jump_rel d else th.pc <- next;
+    `Ok
+  | Isa.Call d ->
+    push_on th t (Int32.of_int next);
+    jump_rel (Int32.to_int d);
+    `Ok
+  | Isa.Call_r r ->
+    push_on th t (Int32.of_int next);
+    th.pc <- Int32.to_int (reg th r);
+    `Ok
+  | Isa.Ret ->
+    let sp = Int32.to_int th.regs.(8) in
+    th.pc <- Int32.to_int (read_i32 t sp);
+    th.regs.(8) <- Int32.of_int (sp + 4);
+    `Ok
+  | Isa.Push r ->
+    push_on th t (reg th r);
+    th.pc <- next;
+    `Ok
+  | Isa.Pop r ->
+    let sp = Int32.to_int th.regs.(8) in
+    set_reg th r (read_i32 t sp);
+    th.regs.(8) <- Int32.of_int (sp + 4);
+    th.pc <- next;
+    `Ok
+  | Isa.Sext8 r ->
+    set_reg th r (sext8 (reg th r));
+    th.pc <- next;
+    `Ok
+  | Isa.Sext16 r ->
+    set_reg th r (sext16 (reg th r));
+    th.pc <- next;
+    `Ok
+  | Isa.Zext8 r ->
+    set_reg th r (Int32.logand (reg th r) 0xffl);
+    th.pc <- next;
+    `Ok
+  | Isa.Zext16 r ->
+    set_reg th r (Int32.logand (reg th r) 0xffffl);
+    th.pc <- next;
+    `Ok
+  | Isa.Int code -> (
+    match do_int t th code with
+    | `Ok ->
+      th.pc <- next;
+      `Ok
+    | `Yield ->
+      th.pc <- next;
+      `Yield
+    | `Sleep ->
+      (* resume after the sleep instruction, not at it *)
+      th.pc <- next;
+      `Stop
+    | `Jumped -> `Ok
+    | `Stop -> `Stop)
+
+let step_catching t th =
+  try step t th
+  with Vm_fault f ->
+    th.state <- Faulted f;
+    `Stop
+
+(* Run [th] for up to [n] instructions; returns instructions executed. *)
+let run_thread t th n =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && !executed < n do
+    (match step_catching t th with
+     | `Ok -> ()
+     | `Yield | `Stop -> continue := false);
+    incr executed;
+    t.tick_count <- t.tick_count + 1
+  done;
+  !executed
+
+let wake_sleepers t =
+  List.iter
+    (fun th ->
+      match th.state with
+      | Sleeping until when t.tick_count >= until -> th.state <- Runnable
+      | _ -> ())
+    (threads t)
+
+let run t ~steps =
+  let executed = ref 0 in
+  let progress = ref true in
+  while !executed < steps && !progress do
+    wake_sleepers t;
+    let runnable =
+      List.filter (fun th -> th.state = Runnable) (threads t)
+    in
+    if runnable = [] then begin
+      (* advance time to the next wake-up, if any thread sleeps *)
+      let next_wake =
+        List.filter_map
+          (fun th -> match th.state with Sleeping u -> Some u | _ -> None)
+          (threads t)
+      in
+      match next_wake with
+      | [] -> progress := false
+      | l ->
+        t.tick_count <- max t.tick_count (List.fold_left min max_int l)
+    end
+    else
+      List.iter
+        (fun th ->
+          if th.state = Runnable && !executed < steps then
+            executed := !executed + run_thread t th (min quantum (steps - !executed)))
+        runnable
+  done;
+  !executed
+
+let call_function ?(step_limit = 2_000_000) ?(uid = 0) t ~addr ~args =
+  if t.in_call_function then
+    invalid_arg "Machine.call_function: reentrant call";
+  t.in_call_function <- true;
+  Fun.protect
+    ~finally:(fun () -> t.in_call_function <- false)
+    (fun () ->
+      let th =
+        {
+          tid = 0;
+          name = "<call>";
+          regs = Array.make 9 0l;
+          pc = addr;
+          stack_lo = t.call_stack_lo;
+          stack_hi = t.call_stack_hi;
+          state = Runnable;
+          uid;
+          flag_eq = false;
+          flag_lt = false;
+        }
+      in
+      th.regs.(8) <- Int32.of_int t.call_stack_hi;
+      List.iter (fun v -> push_on th t v) (List.rev args);
+      push_on th t (Int32.of_int t.sentinel);
+      let steps = ref 0 in
+      let result = ref None in
+      while Option.is_none !result do
+        if th.pc = t.sentinel then result := Some (Ok th.regs.(0))
+        else if !steps >= step_limit then result := Some (Error Step_limit)
+        else begin
+          (match step_catching t th with
+           | `Ok | `Yield -> ()
+           | `Stop -> (
+             match th.state with
+             | Faulted f -> result := Some (Error f)
+             | Exited v -> result := Some (Ok v)
+             | _ -> result := Some (Ok th.regs.(0))));
+          incr steps
+        end
+      done;
+      Option.get !result)
+
+let backtrace t th =
+  let resolve addr =
+    let best = ref None in
+    List.iter
+      (fun (s : Klink.Image.syminfo) ->
+        if s.kind = `Func && addr >= s.addr && addr < s.addr + max 1 s.size
+        then
+          match !best with
+          | Some (b : Klink.Image.syminfo) when b.addr >= s.addr -> ()
+          | _ -> best := Some s)
+      t.syms;
+    Option.map
+      (fun (s : Klink.Image.syminfo) ->
+        Printf.sprintf "%s+0x%x" s.name (addr - s.addr))
+      !best
+  in
+  let frames = ref [] in
+  (match resolve th.pc with
+   | Some f -> frames := f :: !frames
+   | None -> frames := Printf.sprintf "0x%x" th.pc :: !frames);
+  let sp = Int32.to_int th.regs.(8) in
+  let a = ref sp in
+  while !a + 4 <= th.stack_hi do
+    (match resolve (Int32.to_int (read_i32 t !a)) with
+     | Some f -> frames := f :: !frames
+     | None -> ());
+    a := !a + 4
+  done;
+  List.rev !frames
+
+(* Model of the paper's stop_machine cost (§5.2: "about 0.7 milliseconds"):
+   a fixed rendezvous cost plus a per-CPU synchronisation term. We treat
+   each live thread as occupying a CPU. *)
+let stop_machine t f =
+  let live =
+    List.length
+      (List.filter
+         (fun th -> match th.state with Runnable | Sleeping _ -> true | _ -> false)
+         (threads t))
+  in
+  let pause_ns = 500_000 + (50_000 * live) in
+  let r = f () in
+  (r, pause_ns)

@@ -1,0 +1,122 @@
+(** The kernel virtual machine: memory, threads, interpreter, syscall
+    dispatch, and the facilities Ksplice depends on at apply time —
+    kallsyms, module memory, [stop_machine], and thread/stack
+    introspection for the quiescence check (§5.2).
+
+    The machine interprets the same bytes Ksplice's trampolines patch, so
+    an incorrectly constructed update genuinely corrupts execution — the
+    safety properties under test are real, not simulated. *)
+
+type fault =
+  | Illegal_instruction of int  (** pc *)
+  | Memory_violation of int  (** offending address *)
+  | Divide_by_zero of int  (** pc *)
+  | Privilege_violation of int  (** pc: privileged escape from user code *)
+  | No_syscall_entry
+  | Step_limit
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type thread_state =
+  | Runnable
+  | Sleeping of int  (** wake at tick *)
+  | Exited of int32
+  | Faulted of fault
+
+type thread = {
+  tid : int;
+  name : string;
+  regs : int32 array;  (** r0..r7 at 0..7, sp at 8 *)
+  mutable pc : int;
+  stack_lo : int;
+  stack_hi : int;
+  mutable state : thread_state;
+  mutable uid : int;
+  mutable flag_eq : bool;  (** comparison flags (per-CPU state) *)
+  mutable flag_lt : bool;
+}
+
+type t
+
+(** [create ?mem_size image] boots the image into fresh memory: copies
+    text/data, zeroes bss, seeds kallsyms, and registers the kernel text
+    as privileged. If the image defines [syscall_entry], [INT 0x80] is
+    wired to it. *)
+val create : ?mem_size:int -> Klink.Image.t -> t
+
+val image : t -> Klink.Image.t
+val tick : t -> int
+val console : t -> string
+
+(** kallsyms of the running kernel: boot image symbols plus symbols of
+    any loaded modules. *)
+val kallsyms : t -> Klink.Image.syminfo list
+
+val add_kallsyms : t -> Klink.Image.syminfo list -> unit
+
+(** [remove_kallsyms t pred] drops entries satisfying [pred] (used when a
+    module is unloaded). *)
+val remove_kallsyms : t -> (Klink.Image.syminfo -> bool) -> unit
+
+(** [privileged_ranges t] are [start, end_) code ranges allowed to use
+    privileged escapes: kernel text plus registered module text. *)
+val privileged_ranges : t -> (int * int) list
+
+val add_privileged_range : t -> int * int -> unit
+
+(** Memory access (host side). @raise Invalid_argument out of range. *)
+val read_u8 : t -> int -> int
+
+val read_i32 : t -> int -> int32
+val read_bytes : t -> int -> int -> Bytes.t
+val write_u8 : t -> int -> int -> unit
+val write_i32 : t -> int -> int32 -> unit
+val write_bytes : t -> int -> Bytes.t -> unit
+
+(** [alloc_module t ~size ~align] carves memory from the module area
+    (zero-filled). Used for Ksplice modules, shadow data, and user
+    programs. *)
+val alloc_module : t -> size:int -> align:int -> int
+
+(** [spawn t ~name ~uid ~entry ~args] creates a thread with a fresh
+    stack; [args] are pushed as if by a caller, and a return into a
+    clean-exit gadget is arranged, so [entry] can simply return. *)
+val spawn : t -> name:string -> uid:int -> entry:int -> args:int32 list -> thread
+
+val threads : t -> thread list
+val find_thread : t -> int -> thread option
+
+(** [run t ~steps] executes up to [steps] instructions across runnable
+    threads, round-robin with a small quantum. Returns the number of
+    instructions actually executed (0 when everything is blocked or
+    exited and nothing is sleeping). *)
+val run : t -> steps:int -> int
+
+(** [call_function t ~uid ~addr ~args] synchronously executes the function
+    at [addr] on a dedicated internal thread context (its own stack) until
+    it returns; used for boot-time init, Ksplice hooks, and tests. *)
+val call_function :
+  ?step_limit:int ->
+  ?uid:int ->
+  t ->
+  addr:int ->
+  args:int32 list ->
+  (int32, fault) result
+
+(** [stop_machine t f] captures all CPUs (no thread is mid-instruction —
+    the scheduler is paused) and runs [f]. Returns [f ()] and the
+    simulated pause in nanoseconds (modelled on the paper's ~0.7 ms
+    stop_machine cost, scaled by thread count). *)
+val stop_machine : t -> (unit -> 'a) -> 'a * int
+
+(** [backtrace t th] conservatively reconstructs [th]'s call chain: the
+    current pc followed by every word on the live stack that points into
+    a known function, resolved through kallsyms to ["name+0xoff"]. Used
+    to diagnose §5.2 quiescence failures ("which thread still sits in the
+    function I want to patch, and where was it called from?"). *)
+val backtrace : t -> thread -> string list
+
+(** Wire the [INT 0x80] syscall gate to the given entry address. *)
+val set_syscall_entry : t -> int -> unit
+
+val syscall_entry : t -> int option

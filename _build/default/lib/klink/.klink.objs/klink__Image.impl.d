@@ -1,0 +1,1 @@
+lib/klink/image.ml: Bytes Format Hashtbl Int32 List Objfile Option String

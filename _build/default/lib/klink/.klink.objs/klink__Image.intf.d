@@ -1,0 +1,1 @@
+lib/klink/image.mli: Bytes Objfile

@@ -1,0 +1,1 @@
+lib/klink/modlink.ml: Bytes Format Int32 List Objfile String

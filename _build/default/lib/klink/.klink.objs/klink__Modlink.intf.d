@@ -1,0 +1,1 @@
+lib/klink/modlink.mli: Bytes Objfile

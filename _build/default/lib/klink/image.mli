@@ -1,0 +1,53 @@
+(** Static linker: object files to a bootable kernel image with a kallsyms
+    symbol table.
+
+    The symbol table deliberately mirrors Linux's kallsyms: it contains
+    {e every} defined symbol, including unit-local (static) ones, so
+    duplicate names occur — the evaluation's "6,164 symbols share their
+    name with other symbols" statistic (§6.3) and the ambiguity run-pre
+    matching resolves both come from here. *)
+
+type syminfo = {
+  name : string;
+  addr : int;
+  size : int;
+  binding : Objfile.Symbol.binding;
+  kind : [ `Func | `Object | `Notype ];
+  unit_name : string;  (** compilation unit that defined the symbol *)
+}
+
+type t = {
+  base : int;
+  size : int;  (** total footprint including bss *)
+  data : Bytes.t;  (** initialised part (text+rodata+data); bss beyond *)
+  kallsyms : syminfo list;
+  text_range : int * int;  (** [start, end) of kernel text *)
+  (* section placements: (unit, section name, addr, size) *)
+  placements : (string * string * int * int) list;
+}
+
+exception Link_error of string
+
+(** [link ~base objects] lays out sections (text, rodata, data, bss — in
+    that order), resolves and applies all relocations, and builds
+    kallsyms.
+    @raise Link_error on duplicate global definitions or unresolved
+    symbols. *)
+val link : base:int -> Objfile.t list -> t
+
+(** [lookup image name] returns all kallsyms entries with the given name
+    (there may be several — local symbols are not unique). *)
+val lookup : t -> string -> syminfo list
+
+(** [lookup_global image name] returns the unique global symbol with that
+    name, if any. *)
+val lookup_global : t -> string -> syminfo option
+
+(** [symbol_census image] returns [(total, ambiguous)] symbol counts:
+    symbols whose name is shared with at least one other symbol. *)
+val symbol_census : t -> int * int
+
+(** [units_with_ambiguous_symbol image] lists compilation units containing
+    at least one symbol whose name is ambiguous kernel-wide (§6.3's
+    "21.1% of the compilation units"). *)
+val units_with_ambiguous_symbol : t -> string list

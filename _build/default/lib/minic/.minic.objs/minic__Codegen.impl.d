@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Asm Ast Bytes Hashtbl Int32 List Objfile Printf String Tast Vmisa

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Codegen Format Inline Lexer Objfile Parser Typecheck

@@ -1,0 +1,1 @@
+lib/minic/inline.ml: Ast Hashtbl List Option Printf

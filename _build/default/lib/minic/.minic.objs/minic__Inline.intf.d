@@ -1,0 +1,1 @@
+lib/minic/inline.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Buffer Format Int32 List String

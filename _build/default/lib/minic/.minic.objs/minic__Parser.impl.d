@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Array Ast Format Int32 Lexer List Option Printf String

@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Bytes Char Format Hashtbl Int32 List Option String Tast

@@ -1,0 +1,40 @@
+type options = {
+  codegen : Codegen.options;
+  inline_enabled : bool;
+  auto_inline_max : int;
+  explicit_inline_max : int;
+}
+
+let run_build =
+  { codegen = Codegen.run_options; inline_enabled = true; auto_inline_max = 3;
+    explicit_inline_max = 12 }
+
+let pre_build = { run_build with codegen = Codegen.pre_options }
+
+type compiled = {
+  obj : Objfile.t;
+  inline_decisions : Inline.decision list;
+}
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+
+let compile ~options ~unit_name src =
+  let ast =
+    try Parser.parse src with
+    | Lexer.Error { line; msg } -> err "%s:%d: %s" unit_name line msg
+    | Parser.Error { line; msg } -> err "%s:%d: %s" unit_name line msg
+  in
+  let inlined =
+    if options.inline_enabled then
+      Inline.run ~auto_max:options.auto_inline_max
+        ~explicit_max:options.explicit_inline_max ast
+    else { Inline.program = ast; decisions = [] }
+  in
+  let tunit =
+    try Typecheck.check ~unit_name inlined.program
+    with Typecheck.Error m -> err "%s: %s" unit_name m
+  in
+  let obj = Codegen.compile_unit ~options:options.codegen tunit in
+  { obj; inline_decisions = inlined.decisions }

@@ -1,0 +1,28 @@
+(** MiniC compiler driver: source text to object file. *)
+
+type options = {
+  codegen : Codegen.options;
+  inline_enabled : bool;
+  auto_inline_max : int;  (** weight bound for un-annotated functions *)
+  explicit_inline_max : int;  (** weight bound for [inline] functions *)
+}
+
+(** Distro-kernel-style build (the "run" kernel): single text section per
+    unit, aligned loops, inlining on. *)
+val run_build : options
+
+(** Ksplice pre/post build: function/data sections, inlining on (the same
+    inlining decisions as the run build — determinism across builds is
+    what makes run-pre matching succeed). *)
+val pre_build : options
+
+type compiled = {
+  obj : Objfile.t;
+  inline_decisions : Inline.decision list;
+}
+
+exception Error of string
+(** Compilation failure: parse or type error, with unit name and message. *)
+
+(** [compile ~options ~unit_name src] compiles one unit. *)
+val compile : options:options -> unit_name:string -> string -> compiled

@@ -1,0 +1,170 @@
+type token =
+  | INT of int32
+  | CHARLIT of char
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = {
+  tok : token;
+  line : int;
+}
+
+exception Error of { line : int; msg : string }
+
+let err line fmt =
+  Format.kasprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let keywords =
+  [ "void"; "char"; "short"; "int"; "struct"; "if"; "else"; "while"; "for";
+    "do"; "switch"; "case"; "default";
+    "return"; "break"; "continue"; "static"; "inline"; "extern"; "sizeof";
+    "ksplice_apply"; "ksplice_pre_apply"; "ksplice_post_apply";
+    "ksplice_reverse"; "ksplice_pre_reverse"; "ksplice_post_reverse" ]
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+(* multi-char punctuation, longest first *)
+let puncts =
+  [ "<<="; ">>=";
+    "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "->";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "!"; "~"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "."; ":" ]
+
+let unescape_char line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> err line "bad escape \\%c" c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let push tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= n then err !line "unterminated comment"
+        else if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          i := !i + 2;
+          closed := true
+        end
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i
+        end
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X')
+      then begin
+        i := !i + 2;
+        while
+          !i < n
+          && (is_digit src.[!i]
+              || match src.[!i] with 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+        do
+          incr i
+        done
+      end
+      else
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+      let s = String.sub src start (!i - start) in
+      match Int32.of_string_opt s with
+      | Some v -> push (INT v)
+      | None -> err !line "bad integer literal %S" s
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (KW s) else push (IDENT s)
+    end
+    else if c = '"' then begin
+      incr i;
+      let b = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then err !line "unterminated string"
+        else if src.[!i] = '"' then begin
+          incr i;
+          closed := true
+        end
+        else if src.[!i] = '\\' then begin
+          if !i + 1 >= n then err !line "unterminated string";
+          Buffer.add_char b (unescape_char !line src.[!i + 1]);
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then err !line "newline in string";
+          Buffer.add_char b src.[!i];
+          incr i
+        end
+      done;
+      push (STRING (Buffer.contents b))
+    end
+    else if c = '\'' then begin
+      if !i + 2 >= n then err !line "bad char literal";
+      if src.[!i + 1] = '\\' then begin
+        if !i + 3 >= n || src.[!i + 3] <> '\'' then err !line "bad char literal";
+        push (CHARLIT (unescape_char !line src.[!i + 2]));
+        i := !i + 4
+      end
+      else begin
+        if src.[!i + 2] <> '\'' then err !line "bad char literal";
+        push (CHARLIT src.[!i + 1]);
+        i := !i + 3
+      end
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let l = String.length p in
+            !i + l <= n && String.sub src !i l = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+        push (PUNCT p);
+        i := !i + String.length p
+      | None -> err !line "unexpected character %C" c
+    end
+  done;
+  push EOF;
+  List.rev !toks

@@ -1,0 +1,20 @@
+(** Lexer for MiniC. *)
+
+type token =
+  | INT of int32
+  | CHARLIT of char
+  | STRING of string
+  | IDENT of string
+  | KW of string  (** keywords: int, char, short, void, struct, if, ... *)
+  | PUNCT of string  (** operators and punctuation, longest-match *)
+  | EOF
+
+type t = {
+  tok : token;
+  line : int;
+}
+
+exception Error of { line : int; msg : string }
+
+(** [tokenize src] lexes the whole source. @raise Error on bad input. *)
+val tokenize : string -> t list

@@ -1,0 +1,546 @@
+open Ast
+
+exception Error of { line : int; msg : string }
+
+type state = {
+  toks : Lexer.t array;
+  mutable pos : int;
+}
+
+let err st fmt =
+  let line =
+    if st.pos < Array.length st.toks then st.toks.(st.pos).line else 0
+  in
+  Format.kasprintf (fun msg -> raise (Error { line; msg })) fmt
+
+let peek st = st.toks.(st.pos).tok
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).tok
+  else Lexer.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q -> advance st
+  | t ->
+    err st "expected %S, got %s" p
+      (match t with
+       | Lexer.IDENT s -> Printf.sprintf "identifier %S" s
+       | Lexer.KW s -> Printf.sprintf "keyword %S" s
+       | Lexer.PUNCT s -> Printf.sprintf "%S" s
+       | Lexer.INT v -> Printf.sprintf "integer %ld" v
+       | Lexer.CHARLIT c -> Printf.sprintf "char %C" c
+       | Lexer.STRING s -> Printf.sprintf "string %S" s
+       | Lexer.EOF -> "end of file")
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st k =
+  match peek st with
+  | Lexer.KW q when String.equal k q ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> err st "expected identifier"
+
+(* --- types --- *)
+
+let is_type_start st =
+  match peek st with
+  | Lexer.KW ("void" | "char" | "short" | "int" | "struct") -> true
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | Lexer.KW "void" -> advance st; Void
+  | Lexer.KW "char" -> advance st; Char
+  | Lexer.KW "short" -> advance st; Short
+  | Lexer.KW "int" -> advance st; Int
+  | Lexer.KW "struct" ->
+    advance st;
+    Struct (expect_ident st)
+  | _ -> err st "expected type"
+
+let parse_type st =
+  let t = ref (parse_base_type st) in
+  while accept_punct st "*" do
+    t := Ptr !t
+  done;
+  !t
+
+(* --- expressions --- *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_lor st in
+  if accept_punct st "=" then
+    let rhs = parse_assign st in
+    Eassign (lhs, rhs)
+  else
+    let compound =
+      match peek st with
+      | Lexer.PUNCT "+=" -> Some Badd
+      | Lexer.PUNCT "-=" -> Some Bsub
+      | Lexer.PUNCT "*=" -> Some Bmul
+      | Lexer.PUNCT "/=" -> Some Bdiv
+      | Lexer.PUNCT "%=" -> Some Bmod
+      | Lexer.PUNCT "&=" -> Some Band
+      | Lexer.PUNCT "|=" -> Some Bor
+      | Lexer.PUNCT "^=" -> Some Bxor
+      | Lexer.PUNCT "<<=" -> Some Bshl
+      | Lexer.PUNCT ">>=" -> Some Bshr
+      | _ -> None
+    in
+    match compound with
+    | None -> lhs
+    | Some op ->
+      advance st;
+      let rhs = parse_assign st in
+      (* lvalue op= e desugars to lvalue = lvalue op e; the lvalue is
+         evaluated twice, so side-effecting subscripts are rejected in
+         style but not by the compiler *)
+      Eassign (lhs, Ebin (op, lhs, rhs))
+
+and parse_binlevel st ops next =
+  let lhs = ref (next st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT p when List.mem_assoc p ops ->
+      advance st;
+      let rhs = next st in
+      lhs := Ebin (List.assoc p ops, !lhs, rhs)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_lor st = parse_binlevel st [ ("||", Blor) ] parse_land
+and parse_land st = parse_binlevel st [ ("&&", Bland) ] parse_bitor
+and parse_bitor st = parse_binlevel st [ ("|", Bor) ] parse_bitxor
+and parse_bitxor st = parse_binlevel st [ ("^", Bxor) ] parse_bitand
+and parse_bitand st = parse_binlevel st [ ("&", Band) ] parse_equality
+
+and parse_equality st =
+  parse_binlevel st [ ("==", Beq); ("!=", Bne) ] parse_relational
+
+and parse_relational st =
+  parse_binlevel st
+    [ ("<", Blt); ("<=", Ble); (">", Bgt); (">=", Bge) ]
+    parse_shift
+
+and parse_shift st = parse_binlevel st [ ("<<", Bshl); (">>", Bshr) ] parse_add
+and parse_add st = parse_binlevel st [ ("+", Badd); ("-", Bsub) ] parse_mul
+
+and parse_mul st =
+  parse_binlevel st [ ("*", Bmul); ("/", Bdiv); ("%", Bmod) ] parse_unary
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "++" ->
+    advance st;
+    let e = parse_unary st in
+    Eassign (e, Ebin (Badd, e, Eint 1l))
+  | Lexer.PUNCT "--" ->
+    advance st;
+    let e = parse_unary st in
+    Eassign (e, Ebin (Bsub, e, Eint 1l))
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Eun (Uneg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Eun (Unot, parse_unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Eun (Ubnot, parse_unary st)
+  | Lexer.PUNCT "*" ->
+    advance st;
+    Ederef (parse_unary st)
+  | Lexer.PUNCT "&" ->
+    advance st;
+    Eaddr (parse_unary st)
+  | Lexer.KW "sizeof" ->
+    advance st;
+    eat_punct st "(";
+    let t = parse_type st in
+    eat_punct st ")";
+    Esizeof t
+  | Lexer.PUNCT "(" when (match peek2 st with
+                          | Lexer.KW ("void" | "char" | "short" | "int"
+                                     | "struct") -> true
+                          | _ -> false) ->
+    advance st;
+    let t = parse_type st in
+    eat_punct st ")";
+    Ecast (t, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      (e :=
+         match !e with
+         | Eident f -> Ecall (f, args)
+         | other -> Eicall (other, args))
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      eat_punct st "]";
+      e := Eindex (!e, idx)
+    | Lexer.PUNCT "++" ->
+      advance st;
+      (* value semantics are those of the pre-form; fine in statement
+         position, which is the only idiomatic use in this code base *)
+      e := Eassign (!e, Ebin (Badd, !e, Eint 1l))
+    | Lexer.PUNCT "--" ->
+      advance st;
+      e := Eassign (!e, Ebin (Bsub, !e, Eint 1l))
+    | Lexer.PUNCT "." ->
+      advance st;
+      e := Efield (!e, expect_ident st)
+    | Lexer.PUNCT "->" ->
+      advance st;
+      e := Earrow (!e, expect_ident st)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let args = ref [ parse_expr st ] in
+    while accept_punct st "," do
+      args := parse_expr st :: !args
+    done;
+    eat_punct st ")";
+    List.rev !args
+  end
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Eint v
+  | Lexer.CHARLIT c ->
+    advance st;
+    Echar c
+  | Lexer.STRING s ->
+    advance st;
+    Estr s
+  | Lexer.IDENT s ->
+    advance st;
+    Eident s
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | _ -> err st "expected expression"
+
+(* --- statements --- *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.PUNCT "{" -> Sblock (parse_block st)
+  | Lexer.PUNCT ";" ->
+    advance st;
+    Sblock []
+  | Lexer.KW "if" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    let then_ = parse_stmt_as_list st in
+    let else_ = if accept_kw st "else" then parse_stmt_as_list st else [] in
+    Sif (cond, then_, else_)
+  | Lexer.KW "while" ->
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    Swhile (cond, parse_stmt_as_list st)
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt_as_list st in
+    (match peek st with
+     | Lexer.KW "while" -> advance st
+     | _ -> err st "expected while after do body");
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    eat_punct st ";";
+    Sdowhile (body, cond)
+  | Lexer.KW "switch" ->
+    advance st;
+    eat_punct st "(";
+    let scrutinee = parse_expr st in
+    eat_punct st ")";
+    eat_punct st "{";
+    let cases = ref [] in
+    while not (accept_punct st "}") do
+      let const =
+        match peek st with
+        | Lexer.KW "case" ->
+          advance st;
+          let c = parse_expr st in
+          eat_punct st ":";
+          Some c
+        | Lexer.KW "default" ->
+          advance st;
+          eat_punct st ":";
+          None
+        | _ -> err st "expected case or default"
+      in
+      let body = ref [] in
+      let stop () =
+        match peek st with
+        | Lexer.KW ("case" | "default") | Lexer.PUNCT "}" -> true
+        | _ -> false
+      in
+      while not (stop ()) do
+        body := parse_stmt st :: !body
+      done;
+      cases := { sc_const = const; sc_body = List.rev !body } :: !cases
+    done;
+    Sswitch (scrutinee, List.rev !cases)
+  | Lexer.KW "for" ->
+    advance st;
+    eat_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        eat_punct st ";";
+        Some e
+      end
+    in
+    let cond =
+      if accept_punct st ";" then None
+      else begin
+        let e = parse_expr st in
+        eat_punct st ";";
+        Some e
+      end
+    in
+    let step =
+      if accept_punct st ")" then None
+      else begin
+        let e = parse_expr st in
+        eat_punct st ")";
+        Some e
+      end
+    in
+    Sfor (init, cond, step, parse_stmt_as_list st)
+  | Lexer.KW "return" ->
+    advance st;
+    if accept_punct st ";" then Sreturn None
+    else begin
+      let e = parse_expr st in
+      eat_punct st ";";
+      Sreturn (Some e)
+    end
+  | Lexer.KW "break" ->
+    advance st;
+    eat_punct st ";";
+    Sbreak
+  | Lexer.KW "continue" ->
+    advance st;
+    eat_punct st ";";
+    Scontinue
+  | Lexer.KW "static" ->
+    advance st;
+    let d = parse_local_decl st ~static:true in
+    Sdecl d
+  | _ when is_type_start st ->
+    let d = parse_local_decl st ~static:false in
+    Sdecl d
+  | _ ->
+    let e = parse_expr st in
+    eat_punct st ";";
+    Sexpr e
+
+and parse_stmt_as_list st =
+  match parse_stmt st with Sblock l -> l | s -> [ s ]
+
+and parse_block st =
+  eat_punct st "{";
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_local_decl st ~static =
+  let ty = parse_type st in
+  let name = expect_ident st in
+  let ty =
+    if accept_punct st "[" then begin
+      let n =
+        match peek st with
+        | Lexer.INT v ->
+          advance st;
+          Int32.to_int v
+        | _ -> err st "expected array size"
+      in
+      eat_punct st "]";
+      Array (ty, n)
+    end
+    else ty
+  in
+  let init =
+    if accept_punct st "=" then Some (parse_expr st) else None
+  in
+  eat_punct st ";";
+  { d_static = static; d_ty = ty; d_name = name; d_init = init }
+
+(* --- top level --- *)
+
+let parse_initializer st =
+  if accept_punct st "{" then begin
+    let items = ref [ parse_expr st ] in
+    while accept_punct st "," do
+      items := parse_expr st :: !items
+    done;
+    eat_punct st "}";
+    Init_list (List.rev !items)
+  end
+  else
+    match peek st with
+    | Lexer.STRING s ->
+      advance st;
+      Init_string s
+    | _ -> Init_scalar (parse_expr st)
+
+let parse_params st =
+  eat_punct st "(";
+  if accept_punct st ")" then []
+  else if (match peek st with Lexer.KW "void" -> peek2 st = Lexer.PUNCT ")" | _ -> false)
+  then begin
+    advance st;
+    eat_punct st ")";
+    []
+  end
+  else begin
+    let param () =
+      let ty = parse_type st in
+      let name =
+        match peek st with
+        | Lexer.IDENT s ->
+          advance st;
+          s
+        | _ -> err st "expected parameter name"
+      in
+      (ty, name)
+    in
+    let ps = ref [ param () ] in
+    while accept_punct st "," do
+      ps := param () :: !ps
+    done;
+    eat_punct st ")";
+    List.rev !ps
+  end
+
+let parse_topdecl st =
+  match peek st with
+  | Lexer.KW ("ksplice_apply" | "ksplice_pre_apply" | "ksplice_post_apply"
+             | "ksplice_reverse" | "ksplice_pre_reverse"
+             | "ksplice_post_reverse" as kw) ->
+    advance st;
+    eat_punct st "(";
+    let f = expect_ident st in
+    eat_punct st ")";
+    eat_punct st ";";
+    (match Ast.hook_of_keyword kw with
+     | Some k -> Thook (k, f)
+     | None -> assert false)
+  | Lexer.KW "struct" when peek2 st <> Lexer.EOF
+                           && (match st.toks.(st.pos + 2).tok with
+                               | Lexer.PUNCT "{" -> true
+                               | _ -> false) ->
+    advance st;
+    let name = expect_ident st in
+    eat_punct st "{";
+    let fields = ref [] in
+    while not (accept_punct st "}") do
+      let ty = parse_type st in
+      let fname = expect_ident st in
+      eat_punct st ";";
+      fields := (ty, fname) :: !fields
+    done;
+    eat_punct st ";";
+    Tstruct { s_name = name; s_fields = List.rev !fields }
+  | _ ->
+    let static = ref false and inline = ref false and extern = ref false in
+    let quals = ref true in
+    while !quals do
+      if accept_kw st "static" then static := true
+      else if accept_kw st "inline" then inline := true
+      else if accept_kw st "extern" then extern := true
+      else quals := false
+    done;
+    let ty = parse_type st in
+    let name = expect_ident st in
+    if (match peek st with Lexer.PUNCT "(" -> true | _ -> false) then begin
+      let params = parse_params st in
+      if accept_punct st ";" then
+        Tfunc
+          { f_static = !static; f_inline = !inline; f_ret = ty; f_name = name;
+            f_params = params; f_body = None }
+      else
+        Tfunc
+          { f_static = !static; f_inline = !inline; f_ret = ty; f_name = name;
+            f_params = params; f_body = Some (parse_block st) }
+    end
+    else begin
+      let ty =
+        if accept_punct st "[" then begin
+          let n =
+            match peek st with
+            | Lexer.INT v ->
+              advance st;
+              Int32.to_int v
+            | _ -> err st "expected array size"
+          in
+          eat_punct st "]";
+          Array (ty, n)
+        end
+        else ty
+      in
+      let init =
+        if accept_punct st "=" then Some (parse_initializer st) else None
+      in
+      eat_punct st ";";
+      if !extern && Option.is_some init then
+        err st "extern declaration cannot have an initializer"
+      else
+        Tglobal
+          { g_static = !static; g_extern = !extern; g_ty = ty; g_name = name;
+            g_init = init }
+    end
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let decls = ref [] in
+  while peek st <> Lexer.EOF do
+    decls := parse_topdecl st :: !decls
+  done;
+  List.rev !decls

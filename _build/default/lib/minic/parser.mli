@@ -1,0 +1,8 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Error of { line : int; msg : string }
+
+(** [parse src] lexes and parses a compilation unit.
+    @raise Error on syntax errors (with source line).
+    @raise Lexer.Error on lexical errors. *)
+val parse : string -> Ast.program

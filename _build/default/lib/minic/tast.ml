@@ -1,0 +1,99 @@
+(* Typed, resolved AST: the typechecker lowers MiniC into this form, in
+   which every memory access is an explicit load/store at a computed
+   address and a known width, implicit integer widenings are explicit
+   nodes, and pointer arithmetic is already scaled. The code generator is
+   consequently a direct translation. *)
+
+type mem_width = M8 | M16 | M32
+
+(* Sign-extension inserted by the compiler: after sub-word loads and at
+   call boundaries for char/short parameters and returns. These are the
+   "implicit casting" effects the paper's §3.1 example turns on: changing
+   a prototype from int to char changes the *callers'* object code. *)
+type widen = Wsext8 | Wsext16
+
+type builtin = {
+  b_name : string;
+  b_code : int;  (* INT escape number *)
+  b_args : int;  (* argument count, passed in r1..r3 *)
+  b_ret : bool;  (* result in r0 *)
+}
+
+type texpr = { desc : tdesc; ty : Ast.ty }
+
+and tdesc =
+  | Tconst of int32
+  | Tstring of string
+  | Tlocal_get of int
+  | Tlocal_set of int * texpr
+  | Tlocal_addr of int
+  | Tparam_get of int
+  | Tparam_set of int * texpr
+  | Tparam_addr of int
+  | Tsym_addr of string  (* address of a data symbol or function *)
+  | Tload of mem_width * texpr
+  | Tstore of mem_width * texpr * texpr  (* addr, value; yields value *)
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Twiden of widen * texpr
+  | Tcall of string * texpr list  (* direct call, args already widened *)
+  | Tbuiltin of builtin * texpr list
+  | Ticall of texpr * texpr list  (* indirect call through a value *)
+
+type tstmt =
+  | TSexpr of texpr
+  | TSif of texpr * tstmt list * tstmt list
+  (* Unified loop: [cond] checked at top (None = forever), [step] runs
+     after the body and is the target of continue. *)
+  | TSloop of texpr option * texpr option * tstmt list
+  (* do-while: body first, condition at the bottom *)
+  | TSdowhile of tstmt list * texpr
+  (* switch: cases in order; a [None] constant is default; each body
+     falls through into the next *)
+  | TSswitch of texpr * (int32 option * tstmt list) list
+  | TSreturn of texpr option
+  | TSbreak
+  | TScontinue
+
+(* a local variable slot within a function frame *)
+type local = {
+  l_id : int;
+  l_ty : Ast.ty;
+  l_size : int;  (* bytes in the frame, >= 4 *)
+}
+
+type tfunc = {
+  tf_name : string;
+  tf_static : bool;
+  tf_inline : bool;  (* declared inline in the source *)
+  tf_ret : Ast.ty;
+  tf_params : (Ast.ty * string) list;
+  tf_locals : local list;
+  tf_body : tstmt list;
+}
+
+(* initialised data item *)
+type ginit =
+  | Gzero of int  (* n zero bytes (bss) *)
+  | Gbytes of Bytes.t
+  | Gwords of gword list
+
+and gword =
+  | Wconst of int32
+  | Waddr of string * int32  (* symbol + offset: becomes an Abs32 reloc *)
+
+type gitem = {
+  gi_name : string;  (* symbol name (static locals are pre-mangled) *)
+  gi_static : bool;
+  gi_ty : Ast.ty;
+  gi_init : ginit;
+}
+
+type tunit = {
+  tu_name : string;
+  tu_funcs : tfunc list;
+  tu_globals : gitem list;
+  tu_hooks : (Ast.hook_kind * string) list;
+  (* names of functions defined in this unit (for call resolution) *)
+  tu_defined_funcs : string list;
+}

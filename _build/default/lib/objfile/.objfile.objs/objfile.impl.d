@@ -1,0 +1,1 @@
+lib/objfile/objfile.ml: Objdump Reloc Section Symbol Unitfile

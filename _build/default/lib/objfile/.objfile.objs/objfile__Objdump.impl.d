@@ -1,0 +1,1 @@
+lib/objfile/objdump.ml: Bytes Format List Printf Reloc Section String Symbol Unitfile Vmisa

@@ -1,0 +1,1 @@
+lib/objfile/objdump.mli: Format Reloc Section Unitfile

@@ -1,0 +1,1 @@
+lib/objfile/reloc.ml: Format Int32 String

@@ -1,0 +1,1 @@
+lib/objfile/section.ml: Bytes Format List Reloc String

@@ -1,0 +1,1 @@
+lib/objfile/unitfile.ml: Buffer Bytes Format Fun Int32 List Printf Reloc Section String Symbol

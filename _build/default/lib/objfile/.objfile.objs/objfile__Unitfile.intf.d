@@ -1,0 +1,1 @@
+lib/objfile/unitfile.mli: Bytes Format Section Symbol

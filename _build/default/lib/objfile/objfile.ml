@@ -1,0 +1,5 @@
+module Reloc = Reloc
+module Symbol = Symbol
+module Section = Section
+module Objdump = Objdump
+include Unitfile

@@ -1,0 +1,28 @@
+type kind = Abs32 | Pc32
+
+type t = {
+  offset : int;
+  kind : kind;
+  sym : string;
+  addend : int32;
+}
+
+let kind_name = function Abs32 -> "ABS32" | Pc32 -> "PC32"
+
+let pp ppf r =
+  Format.fprintf ppf "@[%04x %s %s%+ld@]" r.offset (kind_name r.kind) r.sym
+    r.addend
+
+let equal a b =
+  a.offset = b.offset && a.kind = b.kind && String.equal a.sym b.sym
+  && Int32.equal a.addend b.addend
+
+let stored_value ~kind ~sym_value ~addend ~place =
+  match kind with
+  | Abs32 -> Int32.add sym_value addend
+  | Pc32 -> Int32.sub (Int32.add sym_value addend) place
+
+let infer_sym_value ~kind ~stored ~addend ~place =
+  match kind with
+  | Abs32 -> Int32.sub stored addend
+  | Pc32 -> Int32.add (Int32.sub stored addend) place

@@ -1,0 +1,32 @@
+(** Relocations for the SELF object format.
+
+    Exactly the two relocation kinds Ksplice's techniques revolve around
+    (paper §4.3):
+    - [Abs32]: the stored value is [S + A];
+    - [Pc32]: the stored value is [S + A - P], where [P] is the address of
+      the relocated field itself. For call/jump operands the compiler uses
+      [A = -field_width] so the displacement ends up relative to the next
+      instruction, as on x86. *)
+
+type kind = Abs32 | Pc32
+
+type t = {
+  offset : int;  (** byte offset of the relocated field within its section *)
+  kind : kind;
+  sym : string;  (** name of the referenced symbol *)
+  addend : int32;  (** the [A] of the relocation formulas *)
+}
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** [stored_value ~kind ~sym_value ~addend ~place] computes the field value
+    the linker writes: [S + A] for [Abs32], [S + A - P] for [Pc32]. *)
+val stored_value :
+  kind:kind -> sym_value:int32 -> addend:int32 -> place:int32 -> int32
+
+(** [infer_sym_value ~kind ~stored ~addend ~place] inverts
+    {!stored_value}: recovers [S] from an already-relocated field, the core
+    equation of run-pre matching ([S = val - A] or [S = val - A + P_run]). *)
+val infer_sym_value :
+  kind:kind -> stored:int32 -> addend:int32 -> place:int32 -> int32

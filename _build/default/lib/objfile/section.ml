@@ -1,0 +1,46 @@
+type kind = Text | Data | Rodata | Bss | Note
+
+type t = {
+  name : string;
+  kind : kind;
+  data : Bytes.t;
+  size : int;
+  align : int;
+  relocs : Reloc.t list;
+}
+
+let kind_name = function
+  | Text -> "TEXT" | Data -> "DATA" | Rodata -> "RODATA"
+  | Bss -> "BSS" | Note -> "NOTE"
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v2>%s %s size=%d align=%d relocs=%d@,%a@]" s.name
+    (kind_name s.kind) s.size s.align
+    (List.length s.relocs)
+    (Format.pp_print_list Reloc.pp)
+    s.relocs
+
+let make ~name ~kind ~align data relocs =
+  let relocs =
+    List.sort (fun (a : Reloc.t) b -> compare a.offset b.offset) relocs
+  in
+  { name; kind; data; size = Bytes.length data; align; relocs }
+
+let make_bss ~name ~align size =
+  { name; kind = Bss; data = Bytes.empty; size; align; relocs = [] }
+
+let kind_of_name n =
+  let starts p = String.length n >= String.length p
+                 && String.sub n 0 (String.length p) = p in
+  if starts ".ksplice" then Note
+  else if starts ".text" then Text
+  else if starts ".rodata" then Rodata
+  else if starts ".data" then Data
+  else if starts ".bss" then Bss
+  else Note
+
+let equal_contents a b =
+  a.kind = b.kind && a.size = b.size
+  && Bytes.equal a.data b.data
+  && List.length a.relocs = List.length b.relocs
+  && List.for_all2 Reloc.equal a.relocs b.relocs

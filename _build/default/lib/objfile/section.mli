@@ -1,0 +1,33 @@
+(** Sections for the SELF object format. *)
+
+type kind = Text | Data | Rodata | Bss | Note
+
+type t = {
+  name : string;
+  kind : kind;
+  data : Bytes.t;  (** empty for [Bss]; its size lives in [size] *)
+  size : int;  (** equals [Bytes.length data] except for [Bss] *)
+  align : int;  (** required alignment, a power of two *)
+  relocs : Reloc.t list;  (** sorted by offset *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+(** [make ~name ~kind ~align data relocs] builds a section; [size] is taken
+    from [data]. Relocations are sorted by offset. *)
+val make :
+  name:string -> kind:kind -> align:int -> Bytes.t -> Reloc.t list -> t
+
+(** [make_bss ~name ~align size] builds a zero-filled section with no
+    stored bytes. *)
+val make_bss : name:string -> align:int -> int -> t
+
+(** [kind_of_name n] guesses the section kind from a section name following
+    the usual [.text] / [.text.foo] / [.data] / [.rodata] / [.bss]
+    conventions; names starting with [.ksplice] are [Note]. *)
+val kind_of_name : string -> kind
+
+(** Equality of contents: same kind, size, bytes and relocation lists.
+    Section {e names} are ignored so that the pre-post comparison can match
+    sections across builds. *)
+val equal_contents : t -> t -> bool

@@ -1,0 +1,32 @@
+type binding = Local | Global
+
+type def = {
+  section : string;
+  value : int;
+}
+
+type t = {
+  name : string;
+  binding : binding;
+  def : def option;
+  size : int;
+  kind : [ `Func | `Object | `Notype ];
+}
+
+let binding_name = function Local -> "l" | Global -> "g"
+
+let kind_name = function `Func -> "F" | `Object -> "O" | `Notype -> "-"
+
+let pp ppf s =
+  match s.def with
+  | Some d ->
+    Format.fprintf ppf "@[%s %s %s+%04x sz=%d %s@]" (binding_name s.binding)
+      (kind_name s.kind) d.section d.value s.size s.name
+  | None ->
+    Format.fprintf ppf "@[%s %s UND %s@]" (binding_name s.binding)
+      (kind_name s.kind) s.name
+
+let is_defined s = Option.is_some s.def
+
+let make ?(binding = Global) ?(size = 0) ?(kind = `Notype) ~name def =
+  { name; binding; def; size; kind }

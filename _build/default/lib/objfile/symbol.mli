@@ -1,0 +1,33 @@
+(** Symbols for the SELF object format.
+
+    A symbol is either defined (it names an offset within a section of the
+    same object file) or undefined (a reference to be resolved at link
+    time). [Local] symbols are only visible within their compilation unit —
+    these are the source of the ambiguous-name problem run-pre matching
+    solves (paper §4.1). *)
+
+type binding = Local | Global
+
+type def = {
+  section : string;  (** name of the defining section *)
+  value : int;  (** offset within that section *)
+}
+
+type t = {
+  name : string;
+  binding : binding;
+  def : def option;  (** [None] for undefined (external) symbols *)
+  size : int;  (** size in bytes of the named object, 0 if unknown *)
+  kind : [ `Func | `Object | `Notype ];
+}
+
+val pp : Format.formatter -> t -> unit
+val is_defined : t -> bool
+
+val make :
+  ?binding:binding ->
+  ?size:int ->
+  ?kind:[ `Func | `Object | `Notype ] ->
+  name:string ->
+  def option ->
+  t

@@ -1,0 +1,1 @@
+lib/patchfmt/diff.ml: Array Buffer List Option Printf Result Source_tree String

@@ -1,0 +1,1 @@
+lib/patchfmt/diff.mli: Source_tree

@@ -1,0 +1,1 @@
+lib/patchfmt/source_tree.ml: Buffer Digest List Map Option String

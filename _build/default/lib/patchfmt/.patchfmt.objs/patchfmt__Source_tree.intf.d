@@ -1,0 +1,1 @@
+lib/patchfmt/source_tree.mli:

@@ -1,0 +1,60 @@
+(** Unified diffs: generation, parsing, application, and statistics.
+
+    Ksplice takes "a patch in the standard patch format, the unified diff
+    patch format" (§5) as input; Figure 3 counts the lines of code in each
+    patch. This module provides both halves. *)
+
+type line =
+  | Context of string
+  | Add of string
+  | Del of string
+
+type hunk = {
+  old_start : int;  (** 1-based first line in the old file *)
+  old_len : int;
+  new_start : int;
+  new_len : int;
+  lines : line list;
+}
+
+type file_diff = {
+  path : string;
+  old_exists : bool;  (** false when the patch creates the file *)
+  new_exists : bool;  (** false when the patch deletes the file *)
+  hunks : hunk list;
+}
+
+type t = file_diff list
+
+(** [diff_lines ~context old new_] computes hunks between two line lists
+    (LCS-based, like diff -u). [context] defaults to 3. *)
+val diff_lines : ?context:int -> string list -> string list -> hunk list
+
+(** [diff_trees old new_] produces a patch transforming [old] into
+    [new_], including file creations and deletions. *)
+val diff_trees : ?context:int -> Source_tree.t -> Source_tree.t -> t
+
+val to_string : t -> string
+
+(** [parse s] parses a unified diff. *)
+val parse : string -> (t, string) result
+
+(** [apply patch tree] applies the patch. Hunks are located by exact
+    context match at the stated position, then by searching nearby
+    offsets (like patch(1) fuzz offsets). Errors name the file and hunk
+    that failed. *)
+val apply : t -> Source_tree.t -> (Source_tree.t, string) result
+
+(** Patch statistics, as used by Figure 3. [changed] counts added plus
+    removed lines. *)
+type stats = {
+  files : int;
+  added : int;
+  removed : int;
+  changed : int;
+}
+
+val stats : t -> stats
+
+(** Paths of files the patch touches. *)
+val changed_files : t -> string list

@@ -1,0 +1,34 @@
+module M = Map.Make (String)
+
+type t = string M.t
+
+let empty = M.empty
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let add t path contents = M.add path contents t
+let remove t path = M.remove path t
+let find t path = M.find_opt path t
+let mem t path = M.mem path t
+let files t = M.bindings t |> List.map fst
+let bindings t = M.bindings t
+let equal = M.equal String.equal
+
+let split_lines s =
+  let l = String.split_on_char '\n' s in
+  (* a trailing newline produces one empty trailing element; drop it so
+     that lines round-trip under concat+"\n" *)
+  match List.rev l with
+  | "" :: rest -> List.rev rest
+  | _ -> l
+
+let lines t path = Option.map split_lines (find t path)
+
+let digest t =
+  let b = Buffer.create 1024 in
+  M.iter
+    (fun k v ->
+      Buffer.add_string b k;
+      Buffer.add_char b '\000';
+      Buffer.add_string b (Digest.string v);
+      Buffer.add_char b '\000')
+    t;
+  Digest.to_hex (Digest.string (Buffer.contents b))

@@ -1,0 +1,30 @@
+(** Source trees: the input to kernel builds and to patch application.
+
+    A source tree is an immutable map from relative file paths to file
+    contents. The base kernel, the previously-patched source, and the
+    post-patch source are all values of this type. *)
+
+type t
+
+val empty : t
+val of_list : (string * string) list -> t
+
+(** [add t path contents] adds or replaces a file. *)
+val add : t -> string -> string -> t
+
+val remove : t -> string -> t
+val find : t -> string -> string option
+val mem : t -> string -> bool
+
+(** [files t] lists paths in lexicographic order. *)
+val files : t -> string list
+
+val bindings : t -> (string * string) list
+val equal : t -> t -> bool
+
+(** [lines t path] splits a file into lines (no trailing newlines). *)
+val lines : t -> string -> string list option
+
+(** [digest t] is a stable content hash of the whole tree, used by the
+    build cache. *)
+val digest : t -> string

@@ -1,0 +1,1 @@
+lib/vmisa/isa.ml: Bytes Format Int32

@@ -1,0 +1,1 @@
+lib/vmisa/isa.mli: Bytes Format

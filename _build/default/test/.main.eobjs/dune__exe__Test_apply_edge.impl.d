@@ -1,0 +1,1 @@
+test/test_apply_edge.ml: Alcotest Bytes Kbuild Kernel Klink Ksplice List Minic Option Patchfmt Printf String

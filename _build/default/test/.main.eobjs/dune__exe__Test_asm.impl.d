@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Bytes Int32 List Objfile Option Printf Vmisa

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Corpus Kbuild Klink Ksplice List Minic Patchfmt Printf

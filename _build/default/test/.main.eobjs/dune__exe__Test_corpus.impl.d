@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Kbuild Kernel Ksplice List Minic Option Patchfmt String

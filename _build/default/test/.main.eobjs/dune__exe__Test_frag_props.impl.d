@@ -1,0 +1,1 @@
+test/test_frag_props.ml: Asm Bytes List Printf QCheck2 QCheck_alcotest Vmisa

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes List Printf QCheck2 QCheck_alcotest Vmisa

@@ -1,0 +1,1 @@
+test/test_kbuild.ml: Alcotest Bytes Kbuild List Minic Objfile Option Patchfmt String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Asm Bytes Int32 Kernel Klink List Objfile Option Printf String Vmisa

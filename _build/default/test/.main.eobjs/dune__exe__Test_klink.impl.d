@@ -1,0 +1,1 @@
+test/test_klink.ml: Alcotest Asm Bytes Int32 Kernel Klink List Minic Objfile Option String Vmisa

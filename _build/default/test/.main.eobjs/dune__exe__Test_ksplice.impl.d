@@ -1,0 +1,1 @@
+test/test_ksplice.ml: Alcotest Bytes Kbuild Kernel Klink Ksplice List Minic Option Patchfmt String

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Char Int32 Kernel Klink List Minic Objfile Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_objdump.ml: Alcotest Asm Bytes Format List Minic Objfile String Vmisa

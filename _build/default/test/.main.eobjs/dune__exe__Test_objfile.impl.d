@@ -1,0 +1,1 @@
+test/test_objfile.ml: Alcotest Bytes Filename Fun Int32 List Objfile Option QCheck2 QCheck_alcotest Sys

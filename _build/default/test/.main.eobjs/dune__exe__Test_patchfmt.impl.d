@@ -1,0 +1,1 @@
+test/test_patchfmt.ml: Alcotest List Option Patchfmt Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_prepost.ml: Alcotest Bytes Ksplice Minic Objfile Patchfmt

@@ -1,0 +1,1 @@
+test/test_properties.ml: Buffer Hashtbl Int32 Kbuild Kernel Klink Ksplice List Minic Objfile Option Patchfmt Printf QCheck2 QCheck_alcotest String Vmisa

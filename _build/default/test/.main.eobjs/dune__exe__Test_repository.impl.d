@@ -1,0 +1,1 @@
+test/test_repository.ml: Alcotest Array Filename Fun Kbuild Kernel Klink Ksplice List Minic Option Patchfmt String Sys

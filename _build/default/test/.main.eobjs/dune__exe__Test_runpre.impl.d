@@ -1,0 +1,1 @@
+test/test_runpre.ml: Alcotest Asm Bytes Hashtbl Int32 Ksplice List Objfile String Vmisa

@@ -1,0 +1,1 @@
+test/test_update_format.ml: Alcotest Bytes Corpus Ksplice Lazy List Objfile Option Printf

@@ -1,0 +1,299 @@
+(* Tests for the fragment assembler (jump relaxation, alignment padding,
+   relocations) and the textual assembler (.s parsing, function-sections
+   splitting). *)
+
+module Isa = Vmisa.Isa
+module Reloc = Objfile.Reloc
+module Section = Objfile.Section
+module Frag = Asm.Frag
+module Assembler = Asm.Assembler
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let decode_all (b : Bytes.t) =
+  let rec go pos acc =
+    if pos >= Bytes.length b then List.rev acc
+    else
+      let i, len = Isa.decode_bytes b pos in
+      go (pos + len) ((pos, i) :: acc)
+  in
+  go 0 []
+
+let test_short_backward_jump () =
+  let f = Frag.create () in
+  Frag.label f "top";
+  Frag.insn f (Isa.Add (Isa.R0, Isa.R1));
+  Frag.jump f Isa.Cjmp "top";
+  let img = Frag.assemble f ~text:true in
+  match decode_all img.data with
+  | [ (_, Isa.Add _); (3, Isa.Jmp_s d) ] ->
+    check int_c "short backward disp" (-5) d
+  | l ->
+    Alcotest.failf "unexpected stream (%d insns)" (List.length l)
+
+let test_short_forward_jump () =
+  let f = Frag.create () in
+  Frag.jump f Isa.Cjmp "end";
+  Frag.insn f (Isa.Add (Isa.R0, Isa.R1));
+  Frag.label f "end";
+  Frag.insn f Isa.Ret;
+  let img = Frag.assemble f ~text:true in
+  match decode_all img.data with
+  | [ (0, Isa.Jmp_s 3); (_, Isa.Add _); (_, Isa.Ret) ] -> ()
+  | _ -> Alcotest.fail "expected short forward jump"
+
+let test_long_jump_when_far () =
+  let f = Frag.create () in
+  Frag.jump f Isa.Cjmp "end";
+  for _ = 1 to 100 do
+    Frag.insn f (Isa.Add (Isa.R0, Isa.R1))
+  done;
+  Frag.label f "end";
+  Frag.insn f Isa.Ret;
+  let img = Frag.assemble f ~text:true in
+  match decode_all img.data with
+  | (0, Isa.Jmp 300l) :: _ -> ()
+  | (_, i) :: _ ->
+    Alcotest.failf "expected long jmp, got %s" (Isa.insn_to_string i)
+  | [] -> Alcotest.fail "empty"
+
+let test_call_never_short () =
+  let f = Frag.create () in
+  Frag.label f "fn";
+  Frag.jump f Isa.Ccall "fn";
+  let img = Frag.assemble f ~text:true in
+  match decode_all img.data with
+  | [ (0, Isa.Call (-5l)) ] -> ()
+  | _ -> Alcotest.fail "expected long call"
+
+let test_undefined_target () =
+  let f = Frag.create () in
+  Frag.jump f Isa.Cjmp "nowhere";
+  check bool_c "undefined target raises" true
+    (try
+       ignore (Frag.assemble f ~text:true);
+       false
+     with Frag.Error _ -> true)
+
+let test_align_pads_with_nops () =
+  let f = Frag.create () in
+  Frag.insn f Isa.Ret;
+  Frag.align f 4;
+  Frag.label f "next";
+  Frag.insn f Isa.Ret;
+  let img = Frag.assemble f ~text:true in
+  check int_c "aligned label" 4 (List.assoc "next" img.labels);
+  match decode_all img.data with
+  | [ (0, Isa.Ret); (1, Isa.Nop 3); (4, Isa.Ret) ] -> ()
+  | _ -> Alcotest.fail "expected nop3 padding"
+
+let test_align_various_gaps () =
+  (* gap of 1 and 2 exercise nop1/nop2 padding *)
+  List.iter
+    (fun (pre, expect_nops) ->
+      let f = Frag.create () in
+      for _ = 1 to pre do
+        Frag.insn f Isa.Ret
+      done;
+      Frag.align f 4;
+      Frag.insn f Isa.Hlt;
+      let img = Frag.assemble f ~text:true in
+      let nops =
+        decode_all img.data
+        |> List.filter (fun (_, i) -> Isa.is_nop i)
+        |> List.map (fun (_, i) -> match i with Isa.Nop n -> n | _ -> 0)
+      in
+      check (Alcotest.list int_c)
+        (Printf.sprintf "padding after %d bytes" pre)
+        expect_nops nops)
+    [ (3, [ 1 ]); (2, [ 2 ]); (1, [ 3 ]); (4, []) ]
+
+let test_insn_reloc_and_word_reloc () =
+  let f = Frag.create () in
+  Frag.insn_reloc f (Isa.Mov_ri (Isa.R0, 0l)) Reloc.Abs32 "counter" 0l;
+  Frag.jump_reloc f Isa.Ccall "helper";
+  Frag.word_reloc f "table" 8l;
+  let img = Frag.assemble f ~text:true in
+  check int_c "three relocs" 3 (List.length img.relocs);
+  let r0 = List.nth img.relocs 0 in
+  check int_c "mov imm field offset" 2 r0.Reloc.offset;
+  check bool_c "mov reloc kind" true (r0.kind = Reloc.Abs32);
+  let r1 = List.nth img.relocs 1 in
+  check int_c "call disp field offset" 7 r1.Reloc.offset;
+  check bool_c "call reloc kind" true (r1.kind = Reloc.Pc32);
+  check bool_c "call addend -4" true (Int32.equal r1.addend (-4l));
+  let r2 = List.nth img.relocs 2 in
+  check int_c "word reloc offset" 11 r2.Reloc.offset;
+  check bool_c "word addend" true (Int32.equal r2.addend 8l)
+
+let test_duplicate_label () =
+  let f = Frag.create () in
+  Frag.label f "x";
+  check bool_c "duplicate label rejected" true
+    (try
+       Frag.label f "x";
+       false
+     with Invalid_argument _ -> true)
+
+(* --- textual assembler --- *)
+
+let entry_src =
+  {|
+; syscall entry stub
+.text
+.global syscall_entry
+syscall_entry:
+  cmpi r0, 32
+  jge .Lbad
+  push r3
+  push r2
+  push r1
+  mov r4, sys_call_table
+  mov r5, r0
+  mov r6, 4
+  mul r5, r6
+  add r4, r5
+  loadw r4, [r4+0]
+  callr r4
+  pop r1
+  pop r2
+  pop r3
+  ret
+.Lbad:
+  mov r0, -1
+  ret
+
+.data
+.global sys_call_table
+sys_call_table:
+  .word sys_getpid
+  .word sys_write
+.bss
+.global scratch
+scratch:
+  .space 32
+|}
+
+let test_assemble_entry () =
+  let o =
+    Assembler.assemble ~unit_name:"entry.s" ~function_sections:false entry_src
+  in
+  check bool_c "has .text" true (Option.is_some (Objfile.find_section o ".text"));
+  check bool_c "has .data" true (Option.is_some (Objfile.find_section o ".data"));
+  check bool_c "has .bss" true (Option.is_some (Objfile.find_section o ".bss"));
+  let sym =
+    match Objfile.find_symbol o "syscall_entry" with
+    | Some s -> s
+    | None -> Alcotest.fail "syscall_entry symbol missing"
+  in
+  check bool_c "global binding" true (sym.binding = Objfile.Symbol.Global);
+  check bool_c "func kind" true (sym.kind = `Func);
+  let data = Option.get (Objfile.find_section o ".data") in
+  check int_c "two table relocs" 2 (List.length data.relocs);
+  check bool_c "undefined syscalls" true
+    (List.sort compare (Objfile.undefined_symbols o)
+     = [ "sys_getpid"; "sys_write" ]);
+  let bss = Option.get (Objfile.find_section o ".bss") in
+  check int_c "bss size" 32 bss.size
+
+let test_assemble_decodes () =
+  let o =
+    Assembler.assemble ~unit_name:"entry.s" ~function_sections:false entry_src
+  in
+  let text = Option.get (Objfile.find_section o ".text") in
+  (* every byte of .text decodes as instructions *)
+  let insns = decode_all text.data in
+  check bool_c "stream nonempty" true (List.length insns > 10);
+  check bool_c "ends with ret" true
+    (match List.rev insns with (_, Isa.Ret) :: _ -> true | _ -> false)
+
+let test_function_sections_split () =
+  let src = {|
+.text
+.global f
+f:
+  ret
+.global g
+g:
+  call f
+  ret
+|} in
+  let o = Assembler.assemble ~unit_name:"two.s" ~function_sections:true src in
+  check bool_c "has .text.f" true
+    (Option.is_some (Objfile.find_section o ".text.f"));
+  check bool_c "has .text.g" true
+    (Option.is_some (Objfile.find_section o ".text.g"));
+  (* cross-function call becomes a relocation *)
+  let g = Option.get (Objfile.find_section o ".text.g") in
+  check int_c "call f is relocated" 1 (List.length g.relocs);
+  check bool_c "reloc sym" true ((List.hd g.relocs).Reloc.sym = "f")
+
+let test_single_section_resolves_calls () =
+  let src = {|
+.text
+.global f
+f:
+  ret
+.global g
+g:
+  call f
+  ret
+|} in
+  let o = Assembler.assemble ~unit_name:"two.s" ~function_sections:false src in
+  let text = Option.get (Objfile.find_section o ".text") in
+  check int_c "no relocs when resolved" 0 (List.length text.relocs);
+  (* the call must point back to f at offset 0 *)
+  let insns = decode_all text.data in
+  let call =
+    List.find_map
+      (fun (pos, i) -> match i with Isa.Call d -> Some (pos, d) | _ -> None)
+      insns
+  in
+  match call with
+  | Some (pos, d) -> check int_c "resolved call target" 0 (pos + 5 + Int32.to_int d)
+  | None -> Alcotest.fail "no call found"
+
+let test_syntax_error_line () =
+  let src = ".text\nfoo:\n  bogus r0\n" in
+  check bool_c "error carries line" true
+    (try
+       ignore (Assembler.assemble ~unit_name:"x.s" ~function_sections:false src);
+       false
+     with Assembler.Error { line = 3; _ } -> true)
+
+let test_asciz_and_rodata () =
+  let src = ".rodata\nmsg:\n  .asciz \"hi\"\n" in
+  let o = Assembler.assemble ~unit_name:"s.s" ~function_sections:false src in
+  let ro = Option.get (Objfile.find_section o ".rodata") in
+  check bool_c "rodata kind" true (ro.kind = Section.Rodata);
+  check bool_c "nul terminated" true (Bytes.to_string ro.data = "hi\000")
+
+let suite =
+  [
+    ( "frag",
+      [
+        Alcotest.test_case "short backward jump" `Quick test_short_backward_jump;
+        Alcotest.test_case "short forward jump" `Quick test_short_forward_jump;
+        Alcotest.test_case "long jump when far" `Quick test_long_jump_when_far;
+        Alcotest.test_case "call never short" `Quick test_call_never_short;
+        Alcotest.test_case "undefined target" `Quick test_undefined_target;
+        Alcotest.test_case "align pads with nops" `Quick
+          test_align_pads_with_nops;
+        Alcotest.test_case "align gap widths" `Quick test_align_various_gaps;
+        Alcotest.test_case "relocations" `Quick test_insn_reloc_and_word_reloc;
+        Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+      ] );
+    ( "assembler",
+      [
+        Alcotest.test_case "assemble entry stub" `Quick test_assemble_entry;
+        Alcotest.test_case "text decodes fully" `Quick test_assemble_decodes;
+        Alcotest.test_case "function-sections split" `Quick
+          test_function_sections_split;
+        Alcotest.test_case "single-section resolves calls" `Quick
+          test_single_section_resolves_calls;
+        Alcotest.test_case "syntax error line" `Quick test_syntax_error_line;
+        Alcotest.test_case "asciz rodata" `Quick test_asciz_and_rodata;
+      ] );
+  ]

@@ -1,0 +1,115 @@
+(* Property tests for the fragment assembler: relaxation correctness
+   (every emitted jump lands on its label under any layout), alignment
+   invariants, and decode round-trips of random instruction streams. *)
+
+module Isa = Vmisa.Isa
+module Frag = Asm.Frag
+
+(* random straight-line instructions that carry no labels *)
+let plain_insns =
+  [ Isa.Mov_rr (Isa.R0, Isa.R1); Isa.Add (Isa.R2, Isa.R3);
+    Isa.Addi (Isa.R4, 9l); Isa.Push Isa.R5; Isa.Pop Isa.R5;
+    Isa.Load (Isa.W32, Isa.R0, Isa.R6, 4); Isa.Cmpi (Isa.R0, 3l);
+    Isa.Neg Isa.R1; Isa.Sext8 Isa.R0 ]
+
+(* a fragment program: labelled blocks of filler with jumps between them *)
+type block = {
+  fill : int list;  (* indices into plain_insns *)
+  jump_to : int option;  (* target block id *)
+  cond : bool;
+  aligned : bool;
+}
+
+let gen_blocks =
+  let open QCheck2.Gen in
+  let block n_blocks =
+    map4
+      (fun fill target cond aligned ->
+        { fill; jump_to = target; cond; aligned })
+      (list_size (int_range 0 20) (int_range 0 (List.length plain_insns - 1)))
+      (oneof [ return None; map (fun t -> Some t) (int_range 0 (n_blocks - 1)) ])
+      bool bool
+  in
+  int_range 2 6 >>= fun n -> list_repeat n (block n)
+
+let build_frag blocks =
+  let f = Frag.create () in
+  List.iteri
+    (fun i b ->
+      if b.aligned then Frag.align f 8;
+      Frag.label f (Printf.sprintf "B%d" i);
+      List.iter (fun k -> Frag.insn f (List.nth plain_insns k)) b.fill;
+      match b.jump_to with
+      | Some t ->
+        let target = Printf.sprintf "B%d" t in
+        if b.cond then Frag.jump f (Isa.Cjcc Isa.Ne) target
+        else Frag.jump f Isa.Cjmp target
+      | None -> ())
+    blocks;
+  f
+
+(* decode the assembled image and verify every jump's resolved target is a
+   label position *)
+let check_jumps (img : Frag.image) =
+  let label_offsets = List.map snd img.labels in
+  let ok = ref true in
+  let pos = ref 0 in
+  while !pos < Bytes.length img.data do
+    let insn, len = Isa.decode_bytes img.data !pos in
+    (match Isa.pc_rel insn with
+     | Some (_, disp, _, _) ->
+       let target = !pos + len + disp in
+       if not (List.mem target label_offsets) then ok := false
+     | None -> ());
+    pos := !pos + len
+  done;
+  !ok
+
+let prop_jumps_land_on_labels =
+  QCheck2.Test.make ~name:"relaxed jumps land exactly on their labels"
+    ~count:200 gen_blocks (fun blocks ->
+      let f = build_frag blocks in
+      let img = Frag.assemble f ~text:true in
+      check_jumps img)
+
+let prop_alignment_honoured =
+  QCheck2.Test.make ~name:"aligned labels are 8-byte aligned" ~count:200
+    gen_blocks (fun blocks ->
+      let f = build_frag blocks in
+      let img = Frag.assemble f ~text:true in
+      List.for_all2
+        (fun b (_, off) -> (not b.aligned) || off mod 8 = 0)
+        blocks img.labels)
+
+let prop_stream_decodes =
+  QCheck2.Test.make ~name:"assembled text decodes end to end" ~count:200
+    gen_blocks (fun blocks ->
+      let f = build_frag blocks in
+      let img = Frag.assemble f ~text:true in
+      let rec go pos =
+        if pos = Bytes.length img.data then true
+        else if pos > Bytes.length img.data then false
+        else
+          match Isa.decode_bytes img.data pos with
+          | _, len -> go (pos + len)
+          | exception Isa.Decode_error _ -> false
+      in
+      go 0)
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"assembly is deterministic" ~count:100 gen_blocks
+    (fun blocks ->
+      let a = Frag.assemble (build_frag blocks) ~text:true in
+      let b = Frag.assemble (build_frag blocks) ~text:true in
+      Bytes.equal a.data b.data && a.labels = b.labels)
+
+let suite =
+  [
+    ( "frag-props",
+      [
+        QCheck_alcotest.to_alcotest prop_jumps_land_on_labels;
+        QCheck_alcotest.to_alcotest prop_alignment_honoured;
+        QCheck_alcotest.to_alcotest prop_stream_decodes;
+        QCheck_alcotest.to_alcotest prop_deterministic;
+      ] );
+  ]

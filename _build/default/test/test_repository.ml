@@ -1,0 +1,159 @@
+(* Tests for the update-distribution repository (§8 future work):
+   publishing chained updates, pending computation, and a subscriber
+   syncing a live kernel through multiple hops. *)
+
+module Tree = Patchfmt.Source_tree
+module Diff = Patchfmt.Diff
+module Repo = Ksplice.Repository
+module Apply = Ksplice.Apply
+module Create = Ksplice.Create
+module Image = Klink.Image
+module Machine = Kernel.Machine
+
+let t name f = Alcotest.test_case name `Quick f
+
+let base_tree =
+  Tree.of_list
+    [ ( "kernel/k.c",
+        "int level = 1;\n\
+         int probe(int x) {\n\
+        \  int acc = 0;\n\
+        \  int i;\n\
+        \  for (i = 0; i < x; i = i + 1)\n\
+        \    acc = acc + level;\n\
+        \  return acc;\n\
+         }\n" ) ]
+
+let replace old_s new_s s =
+  let rec find i =
+    if i + String.length old_s > String.length s then
+      Alcotest.failf "pattern %S not found" old_s
+    else if String.sub s i (String.length old_s) = old_s then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  String.sub s 0 i ^ new_s
+  ^ String.sub s (i + String.length old_s)
+      (String.length s - i - String.length old_s)
+
+let edit tree f =
+  Tree.add tree "kernel/k.c" (f (Option.get (Tree.find tree "kernel/k.c")))
+
+let mk_update ~id ~from ~to_ =
+  match
+    Create.create
+      { source = from; patch = Diff.diff_trees from to_; update_id = id;
+        description = id }
+  with
+  | Ok c -> c.update
+  | Error e -> Alcotest.failf "create %s: %a" id Create.pp_error e
+
+let with_repo f =
+  let dir = Filename.temp_file "ksplrepo" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun e -> Sys.remove (Filename.concat dir e))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f (Repo.open_dir dir))
+
+(* three successive source states *)
+let tree1 =
+  edit base_tree (replace "acc = acc + level;" "acc = acc + level + 1;")
+
+let tree2 = edit tree1 (replace "int level = 1;" "int level = 1;\nint spare;")
+
+let publish_chain repo =
+  let u1 = mk_update ~id:"hop-1" ~from:base_tree ~to_:tree1 in
+  let u2 = mk_update ~id:"hop-2" ~from:tree1 ~to_:tree2 in
+  let e1 =
+    Repo.publish repo ~source:base_tree
+      ~patch:(Diff.diff_trees base_tree tree1) ~update:u1
+  in
+  let e2 =
+    Repo.publish repo ~source:tree1 ~patch:(Diff.diff_trees tree1 tree2)
+      ~update:u2
+  in
+  (e1, e2)
+
+let test_publish_and_pending () =
+  with_repo (fun repo ->
+      let e1, e2 = publish_chain repo in
+      Alcotest.(check string) "chain links" e1.next_digest e2.base_digest;
+      let chain = Repo.pending repo ~digest:(Tree.digest base_tree) in
+      Alcotest.(check (list string))
+        "two pending from base" [ "hop-1"; "hop-2" ]
+        (List.map (fun (e : Repo.entry) -> e.update.Ksplice.Update.update_id) chain);
+      Alcotest.(check int)
+        "one pending from tree1" 1
+        (List.length (Repo.pending repo ~digest:(Tree.digest tree1)));
+      Alcotest.(check int)
+        "up to date at tree2" 0
+        (List.length (Repo.pending repo ~digest:(Tree.digest tree2))))
+
+let test_duplicate_publish_rejected () =
+  with_repo (fun repo ->
+      let _ = publish_chain repo in
+      let u = mk_update ~id:"dup" ~from:base_tree ~to_:tree1 in
+      try
+        ignore
+          (Repo.publish repo ~source:base_tree
+             ~patch:(Diff.diff_trees base_tree tree1) ~update:u);
+        Alcotest.fail "expected Repo_error"
+      with Repo.Repo_error _ -> ())
+
+let test_subscriber_sync () =
+  with_repo (fun repo ->
+      let _ = publish_chain repo in
+      (* boot a kernel from the base source and subscribe *)
+      let build = Kbuild.build_tree ~options:Minic.Driver.run_build base_tree in
+      let img = Image.link ~base:0x100000 (Kbuild.objects build) in
+      let m = Machine.create img in
+      let mgr = Apply.init m in
+      let call () =
+        let sym = Option.get (Image.lookup_global img "probe") in
+        match Machine.call_function m ~addr:sym.addr ~args:[ 4l ] with
+        | Ok v -> v
+        | Error f -> Alcotest.failf "probe: %a" Machine.pp_fault f
+      in
+      Alcotest.(check int32) "before sync" 4l (call ());
+      (match Repo.sync repo mgr ~source:base_tree with
+       | Ok r ->
+         Alcotest.(check (list string))
+           "both hops applied" [ "hop-1"; "hop-2" ]
+           r.applied;
+         Alcotest.(check string) "source advanced"
+           (Tree.digest tree2)
+           (Tree.digest r.new_source)
+       | Error e -> Alcotest.fail e);
+      (* hop-1 changed the loop body: probe(4) = 4 * (level+1) = 8 *)
+      Alcotest.(check int32) "after sync" 8l (call ());
+      (* second sync is a no-op *)
+      match Repo.sync repo mgr ~source:tree2 with
+      | Ok { applied = []; _ } -> ()
+      | Ok _ -> Alcotest.fail "expected no pending updates"
+      | Error e -> Alcotest.fail e)
+
+let test_entry_roundtrip_on_disk () =
+  with_repo (fun repo ->
+      let e1, _ = publish_chain repo in
+      (* a fresh handle must read back the same chain *)
+      let chain = Repo.pending repo ~digest:e1.base_digest in
+      Alcotest.(check int) "read back" 2 (List.length chain);
+      let e = List.hd chain in
+      Alcotest.(check string) "patch preserved" e.patch_text e1.patch_text)
+
+let suite =
+  [
+    ( "repository",
+      [
+        t "publish and pending" test_publish_and_pending;
+        t "duplicate publish rejected" test_duplicate_publish_rejected;
+        t "subscriber sync" test_subscriber_sync;
+        t "entry roundtrip" test_entry_roundtrip_on_disk;
+      ] );
+  ]

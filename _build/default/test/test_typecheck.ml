@@ -1,0 +1,189 @@
+(* Direct typechecker tests: struct layout (sizes, alignment, field
+   offsets), the lowering invariants the code generator relies on, and
+   error coverage for each class of type error. *)
+
+module Tc = Minic.Typecheck
+module Ast = Minic.Ast
+
+let t name f = Alcotest.test_case name `Quick f
+let int_c = Alcotest.int
+
+let structs =
+  [
+    ("pair", [ (Ast.Int, "a"); (Ast.Int, "b") ]);
+    ("mixed", [ (Ast.Char, "c"); (Ast.Int, "i"); (Ast.Short, "s");
+                (Ast.Char, "d") ]);
+    ("bytes", [ (Ast.Char, "x"); (Ast.Char, "y"); (Ast.Char, "z") ]);
+    ("nested", [ (Ast.Struct "pair", "p"); (Ast.Char, "tag") ]);
+  ]
+
+let test_sizeof_scalars () =
+  Alcotest.check int_c "char" 1 (Tc.sizeof structs Ast.Char);
+  Alcotest.check int_c "short" 2 (Tc.sizeof structs Ast.Short);
+  Alcotest.check int_c "int" 4 (Tc.sizeof structs Ast.Int);
+  Alcotest.check int_c "ptr" 4 (Tc.sizeof structs (Ast.Ptr Ast.Char));
+  Alcotest.check int_c "array" 12 (Tc.sizeof structs (Ast.Array (Ast.Int, 3)));
+  Alcotest.check int_c "char array" 5
+    (Tc.sizeof structs (Ast.Array (Ast.Char, 5)))
+
+let test_sizeof_structs () =
+  Alcotest.check int_c "pair" 8 (Tc.sizeof structs (Ast.Struct "pair"));
+  (* c(1) pad(3) i(4) s(2) d(1) pad(1) -> 12, aligned to 4 *)
+  Alcotest.check int_c "mixed" 12 (Tc.sizeof structs (Ast.Struct "mixed"));
+  (* three chars, align 1 -> 3 *)
+  Alcotest.check int_c "bytes" 3 (Tc.sizeof structs (Ast.Struct "bytes"));
+  (* pair(8) tag(1) pad(3) -> 12 *)
+  Alcotest.check int_c "nested" 12 (Tc.sizeof structs (Ast.Struct "nested"))
+
+let test_field_offsets () =
+  Alcotest.check int_c "pair.a" 0 (Tc.field_offset structs "pair" "a");
+  Alcotest.check int_c "pair.b" 4 (Tc.field_offset structs "pair" "b");
+  Alcotest.check int_c "mixed.c" 0 (Tc.field_offset structs "mixed" "c");
+  Alcotest.check int_c "mixed.i aligned" 4
+    (Tc.field_offset structs "mixed" "i");
+  Alcotest.check int_c "mixed.s" 8 (Tc.field_offset structs "mixed" "s");
+  Alcotest.check int_c "mixed.d" 10 (Tc.field_offset structs "mixed" "d");
+  Alcotest.check int_c "nested.tag" 8
+    (Tc.field_offset structs "nested" "tag")
+
+let test_unknown_field () =
+  Alcotest.check_raises "unknown field"
+    (Tc.Error "struct pair has no field nope") (fun () ->
+      ignore (Tc.field_offset structs "pair" "nope"))
+
+let test_unknown_struct () =
+  Alcotest.(check bool) "unknown struct" true
+    (try
+       ignore (Tc.sizeof structs (Ast.Struct "ghost"));
+       false
+     with Tc.Error _ -> true)
+
+let check_program src =
+  Tc.check ~unit_name:"t.c" (Minic.Parser.parse src)
+
+let test_lowering_shape () =
+  (* pointer arithmetic is pre-scaled and widenings are explicit in the
+     typed tree *)
+  let tu =
+    check_program
+      "struct pair { int a; int b; };\n\
+       int probe(struct pair *p, char c) { return p[2].b + c; }\n\
+       int use(struct pair *p) { return probe(p, 300); }\n"
+  in
+  (* the widening is inserted in the *caller* (the §3.1 ripple), so scan
+     every function *)
+  let f = List.hd tu.tu_funcs in
+  Alcotest.(check string) "name" "probe" f.tf_name;
+  (* the body must contain a multiplication by sizeof(struct pair) = 8
+     and an explicit sign-extension of the char parameter *)
+  let saw_scale = ref false and saw_widen = ref false in
+  let rec walk_e (e : Minic.Tast.texpr) =
+    (match e.desc with
+     | Minic.Tast.Tconst 8l -> saw_scale := true
+     | Minic.Tast.Twiden (Minic.Tast.Wsext8, _) -> saw_widen := true
+     | _ -> ());
+    match e.desc with
+    | Minic.Tast.Tbin (_, a, b)
+    | Minic.Tast.Tstore (_, a, b) ->
+      walk_e a; walk_e b
+    | Minic.Tast.Tun (_, a)
+    | Minic.Tast.Twiden (_, a)
+    | Minic.Tast.Tload (_, a)
+    | Minic.Tast.Tlocal_set (_, a)
+    | Minic.Tast.Tparam_set (_, a) -> walk_e a
+    | Minic.Tast.Tcall (_, args) | Minic.Tast.Tbuiltin (_, args) ->
+      List.iter walk_e args
+    | Minic.Tast.Ticall (c, args) -> walk_e c; List.iter walk_e args
+    | _ -> ()
+  in
+  let rec walk_s (s : Minic.Tast.tstmt) =
+    match s with
+    | Minic.Tast.TSexpr e -> walk_e e
+    | Minic.Tast.TSif (c, a, b) -> walk_e c; List.iter walk_s (a @ b)
+    | Minic.Tast.TSloop (c, st, b) ->
+      Option.iter walk_e c; Option.iter walk_e st; List.iter walk_s b
+    | Minic.Tast.TSdowhile (b, c) -> List.iter walk_s b; walk_e c
+    | Minic.Tast.TSswitch (c, cases) ->
+      walk_e c; List.iter (fun (_, b) -> List.iter walk_s b) cases
+    | Minic.Tast.TSreturn (Some e) -> walk_e e
+    | _ -> ()
+  in
+  List.iter
+    (fun (g : Minic.Tast.tfunc) -> List.iter walk_s g.tf_body)
+    tu.tu_funcs;
+  Alcotest.(check bool) "index pre-scaled by sizeof" true !saw_scale;
+  Alcotest.(check bool) "char param widened at use" true !saw_widen
+
+let test_static_local_mangling () =
+  let tu =
+    check_program "int gen() { static int n = 5; n = n + 1; return n; }\n"
+  in
+  Alcotest.(check (list string)) "mangled unit-level datum" [ "gen.n" ]
+    (List.map (fun (g : Minic.Tast.gitem) -> g.gi_name) tu.tu_globals);
+  let g = List.hd tu.tu_globals in
+  Alcotest.(check bool) "static binding" true g.gi_static
+
+let test_global_init_forms () =
+  let tu =
+    check_program
+      "int scalar = 7;\nint zero;\nint table[3] = { 1, 2, 3 };\n\
+       char msg[8] = \"hi\";\nint probe() { return scalar; }\n"
+  in
+  let by_name n =
+    List.find (fun (g : Minic.Tast.gitem) -> g.gi_name = n) tu.tu_globals
+  in
+  (match (by_name "scalar").gi_init with
+   | Minic.Tast.Gwords [ Minic.Tast.Wconst 7l ] -> ()
+   | _ -> Alcotest.fail "scalar init");
+  (match (by_name "zero").gi_init with
+   | Minic.Tast.Gzero 4 -> ()
+   | _ -> Alcotest.fail "zero init is bss");
+  (match (by_name "table").gi_init with
+   | Minic.Tast.Gwords [ Minic.Tast.Wconst 1l; Wconst 2l; Wconst 3l ] -> ()
+   | _ -> Alcotest.fail "array init");
+  match (by_name "msg").gi_init with
+  | Minic.Tast.Gbytes b ->
+    Alcotest.(check string) "padded string" "hi\000\000\000\000\000\000"
+      (Bytes.to_string b)
+  | _ -> Alcotest.fail "string init"
+
+let test_error_paths () =
+  let rejected =
+    [
+      "struct a { struct ghost g; }; struct a v; int f() { return 0; }";
+      "int f() { return \"str\" * 2; }";
+      "int f(int *p) { return p * p; }";
+      "int f() { int x[3]; x = 0; return 0; }";
+      "void f() { return 1; }";
+      "int f() { return; }";
+      "int f() { continue; return 0; }";
+      "int f(int a, int b) { return g(a); } int g(int x, int y) { return x + y; }";
+      "int v; int v; int f() { return v; }";
+      "int f() { switch (1) { default: return 1; default: return 2; } }";
+      "int x; int f() { case 3: return 1; }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejected: " ^ src) true
+        (try
+           ignore (check_program src);
+           false
+         with Tc.Error _ | Minic.Parser.Error _ -> true))
+    rejected
+
+let suite =
+  [
+    ( "typecheck",
+      [
+        t "sizeof scalars" test_sizeof_scalars;
+        t "sizeof structs" test_sizeof_structs;
+        t "field offsets" test_field_offsets;
+        t "unknown field" test_unknown_field;
+        t "unknown struct" test_unknown_struct;
+        t "lowering shape" test_lowering_shape;
+        t "static local mangling" test_static_local_mangling;
+        t "global init forms" test_global_init_forms;
+        t "error paths" test_error_paths;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* Update-file format robustness: round-trips over every corpus update,
+   graceful rejection of corrupted inputs, and apply-equivalence of a
+   deserialised update. *)
+
+module Update = Ksplice.Update
+module Create = Ksplice.Create
+module Apply = Ksplice.Apply
+
+let t name f = Alcotest.test_case name `Quick f
+
+let corpus_updates =
+  lazy
+    (let base = Corpus.Base_kernel.tree () in
+     List.filter_map
+       (fun (cve : Corpus.Cve.t) ->
+         match
+           Create.create
+             { source = base; patch = Corpus.Cve.hot_patch cve base;
+               update_id = cve.id; description = cve.desc }
+         with
+         | Ok c -> Some c.update
+         | Error _ -> None)
+       Corpus.Cve.all)
+
+let test_roundtrip_all () =
+  List.iter
+    (fun (u : Update.t) ->
+      let u' = Update.of_bytes (Update.to_bytes u) in
+      Alcotest.(check string) (u.update_id ^ " id") u.update_id u'.update_id;
+      Alcotest.(check bool)
+        (u.update_id ^ " replaced functions")
+        true
+        (u.replaced_functions = u'.replaced_functions);
+      Alcotest.(check bool)
+        (u.update_id ^ " primary bytes")
+        true
+        (Bytes.equal (Objfile.to_bytes u.primary) (Objfile.to_bytes u'.primary));
+      Alcotest.(check int)
+        (u.update_id ^ " helpers")
+        (List.length u.helpers) (List.length u'.helpers))
+    (Lazy.force corpus_updates)
+
+let test_corruption_rejected () =
+  let u = List.hd (Lazy.force corpus_updates) in
+  let good = Update.to_bytes u in
+  let cases =
+    [ Bytes.sub good 0 4 (* truncated magic *);
+      Bytes.sub good 0 (Bytes.length good / 2) (* truncated body *);
+      Bytes.of_string "KSPL1garbage";
+      (let b = Bytes.copy good in
+       (* corrupt a length field just past the magic *)
+       Bytes.set_int32_le b 5 0x7fffffffl;
+       b) ]
+  in
+  List.iteri
+    (fun i b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "corruption %d rejected" i)
+        true
+        (try
+           ignore (Update.of_bytes b);
+           false
+         with Failure _ -> true))
+    cases
+
+let test_deserialised_update_applies () =
+  let u =
+    List.find
+      (fun (u : Update.t) -> u.update_id = "CVE-2006-2451")
+      (Lazy.force corpus_updates)
+  in
+  let u' = Update.of_bytes (Update.to_bytes u) in
+  let b = Corpus.Boot.boot () in
+  let mgr = Apply.init b.machine in
+  (match Apply.apply mgr u' with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "deserialised apply: %a" Apply.pp_error e);
+  let e = Option.get (Corpus.Exploits.find "CVE-2006-2451") in
+  Alcotest.(check bool) "exploit blocked by deserialised update" false
+    (e.run b).succeeded
+
+let suite =
+  [
+    ( "update-format",
+      [
+        t "roundtrip all corpus updates" test_roundtrip_all;
+        t "corruption rejected" test_corruption_rejected;
+        t "deserialised update applies" test_deserialised_update_applies;
+      ] );
+  ]
