@@ -463,6 +463,18 @@ let ablation () =
      equivalence. A byte-exact matcher rejects safe updates whenever the \
      distro build aligned a loop head that the pre build did not.)\n"
 
+(* ---------- FS: fault-injection sweep ---------- *)
+
+let fault_sweep () =
+  section "Fault-injection sweep: transactional apply under induced failure";
+  (* every CVE x every pipeline step: inject the step's canonical fault,
+     require a byte-identical rollback, then a clean re-apply that still
+     survives stress and blocks the CVE's exploit *)
+  let report = Corpus.Sweep.run ~seed:0 () in
+  print_string (Format.asprintf "%a" Corpus.Sweep.pp_matrix report);
+  if not (Corpus.Sweep.ok report) then
+    print_endline "*** SWEEP FAILED: rollback contract violated ***"
+
 (* ---------- P: Bechamel timing ---------- *)
 
 let bechamel_benches () =
@@ -606,6 +618,7 @@ let () =
   baseline ();
   kernel_matrix ();
   ablation ();
+  fault_sweep ();
   appendix ();
   bechamel_benches ();
   print_endline "\nAll experiments complete."

@@ -224,6 +224,36 @@ let cmd_demo cve_id =
         | None -> ());
        Printf.printf "\nDone.\n")
 
+let cmd_fault_sweep cve_ids seed =
+  (* every cell intentionally aborts an apply; the per-abort warnings are
+     noise here (use -v to see them) *)
+  if Logs.level () = Some Logs.Warning then Logs.set_level (Some Logs.Error);
+  let cves =
+    match cve_ids with
+    | [] -> Corpus.Cve.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Corpus.Cve.find id with
+          | Some c -> c
+          | None ->
+            Printf.eprintf "error: unknown CVE %s (try list-cves)\n" id;
+            exit 1)
+        ids
+  in
+  Printf.printf
+    "injecting the canonical fault at each apply step for %d CVE(s), \
+     seed %d...\n%!"
+    (List.length cves) seed;
+  let report =
+    Corpus.Sweep.run ~seed ~cves
+      ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+      ()
+  in
+  print_newline ();
+  Format.printf "%a@." Corpus.Sweep.pp_matrix report;
+  if not (Corpus.Sweep.ok report) then exit 1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -318,6 +348,27 @@ let demo_cmd =
     Term.(
       const (fun v c -> setup_logs v; cmd_demo c) $ verbose_t $ cve)
 
+let fault_sweep_cmd =
+  let cves =
+    Arg.(
+      value & opt_all string []
+      & info [ "cve" ] ~docv:"ID"
+          ~doc:"Sweep only this CVE (repeatable; default: all 64).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  Cmd.v
+    (Cmd.info "fault-sweep"
+       ~doc:
+         "Inject a fault at every apply-pipeline step for each corpus CVE \
+          and verify crash-consistent rollback, then clean re-apply")
+    Term.(
+      const (fun v c s -> setup_logs v; cmd_fault_sweep c s)
+      $ verbose_t $ cves $ seed)
+
 let () =
   let doc = "Ksplice reproduction: rebootless kernel updates" in
   let info = Cmd.info "ksplice-tool" ~doc in
@@ -325,4 +376,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
-            demo_cmd ]))
+            demo_cmd; fault_sweep_cmd ]))

@@ -26,16 +26,26 @@ type applied = {
   module_ranges : (int * int) list;
   module_image : (int * Bytes.t) list;
   added_symbols : Image.syminfo list;
+  priv_ranges : (int * int) list;
+  journal : Txn.journal;
   pause_ns : int;
+}
+
+type not_quiescent = {
+  nq_functions : string list;
+  nq_attempts : int;
+  nq_steps_run : int;
+  nq_blockers : (string * string list) list;
 }
 
 type error =
   | Code_mismatch of Runpre.mismatch
   | Ambiguous_symbol of string * string * int
   | Unresolved_symbol of string
-  | Not_quiescent of string list
+  | Not_quiescent of not_quiescent
   | Function_too_small of string
   | Hook_fault of string * Machine.fault
+  | Out_of_memory of string
   | Already_applied of string
   | Not_applied of string
   | Not_topmost of string
@@ -51,13 +61,21 @@ let pp_error ppf = function
       Format.fprintf ppf "no matching code found for %s (%s)" s u
     else Format.fprintf ppf "symbol %s (%s) matches %d candidates" s u n
   | Unresolved_symbol s -> Format.fprintf ppf "unresolved symbol %s" s
-  | Not_quiescent fns ->
-    Format.fprintf ppf "functions in use after retries: %s"
-      (String.concat ", " fns)
+  | Not_quiescent nq ->
+    Format.fprintf ppf
+      "functions in use after %d attempts (%d backoff steps): %s"
+      nq.nq_attempts nq.nq_steps_run
+      (String.concat ", " nq.nq_functions);
+    List.iter
+      (fun (who, bt) ->
+        Format.fprintf ppf "@\n  blocked by %s: %s" who
+          (String.concat " <- " bt))
+      nq.nq_blockers
   | Function_too_small f ->
     Format.fprintf ppf "function %s is too small for a jump trampoline" f
   | Hook_fault (h, f) ->
     Format.fprintf ppf "hook %s faulted: %a" h Machine.pp_fault f
+  | Out_of_memory m -> Format.fprintf ppf "out of module memory: %s" m
   | Already_applied id -> Format.fprintf ppf "update %s already applied" id
   | Not_applied id -> Format.fprintf ppf "update %s is not applied" id
   | Not_topmost id ->
@@ -128,27 +146,50 @@ let helper_symbol_size (update : Update.t) unit_name raw_fn =
       else None)
     update.helpers
 
-(* conservative §5.2 check: no live thread executes in or will return into
-   [ranges] *)
-let quiescent m ranges =
+(* conservative §5.2 check: does [th] execute in or hold a return into
+   [ranges]? *)
+let thread_blocks m ranges (th : Machine.thread) =
   let in_ranges v = List.exists (fun (lo, hi) -> v >= lo && v < hi) ranges in
-  List.for_all
+  match th.state with
+  | Machine.Exited _ | Machine.Faulted _ -> false
+  | Machine.Runnable | Machine.Sleeping _ ->
+    in_ranges th.pc
+    ||
+    let sp = Int32.to_int th.regs.(8) in
+    let blocked = ref false in
+    let a = ref sp in
+    while (not !blocked) && !a + 4 <= th.stack_hi do
+      let w = Int32.to_int (Machine.read_i32 m !a) in
+      if in_ranges w then blocked := true;
+      a := !a + 4
+    done;
+    !blocked
+
+let quiescent m ranges =
+  List.for_all (fun th -> not (thread_blocks m ranges th)) (Machine.threads m)
+
+(* the threads still holding [ranges], with backtraces — the §5.2
+   diagnostic ("which thread still sits in the function I want to patch,
+   and where was it called from?") *)
+let blocking_threads m ranges =
+  List.filter_map
     (fun (th : Machine.thread) ->
-      match th.state with
-      | Machine.Exited _ | Machine.Faulted _ -> true
-      | Machine.Runnable | Machine.Sleeping _ ->
-        (not (in_ranges th.pc))
-        &&
-        let sp = Int32.to_int th.regs.(8) in
-        let ok = ref true in
-        let a = ref sp in
-        while !ok && !a + 4 <= th.stack_hi do
-          let w = Int32.to_int (Machine.read_i32 m !a) in
-          if in_ranges w then ok := false;
-          a := !a + 4
-        done;
-        !ok)
+      if thread_blocks m ranges th then
+        Some
+          (Printf.sprintf "thread %d (%s)" th.tid th.name,
+           Machine.backtrace m th)
+      else None)
     (Machine.threads m)
+
+(* bounded exponential backoff: before attempt n+1 the scheduler drains
+   min(cap, base * 2^n) instructions, within a total step budget *)
+let backoff_steps ~retry_base ~retry_cap n =
+  min retry_cap (retry_base * (1 lsl min n 20))
+
+let default_max_attempts = 10
+let default_retry_base = 250
+let default_retry_cap = 4000
+let default_retry_budget = 20_000
 
 (* hook sections of the primary: (kind, reloc syms in order) *)
 let hook_syms (primary : Objfile.t) kind =
@@ -178,8 +219,23 @@ let run_hooks t ~resolve (update : Update.t) kind =
         | Error f -> raise (Fail (Hook_fault (sym, f)))))
     (hook_syms update.primary kind)
 
-let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
-    ?(retry_steps = 2000) t (update : Update.t) =
+let apply ?(tolerance = Runpre.full_tolerance)
+    ?(max_attempts = default_max_attempts)
+    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
+    ?(retry_budget = default_retry_budget) ?inject t (update : Update.t) =
+  let txn = Txn.begin_ t.m in
+  let enter s =
+    Txn.enter txn s;
+    match inject with
+    | None -> ()
+    | Some i ->
+      (* a Sched_perturb injection runs real kernel code at the step
+         boundary; its writes are scheduler progress, not machinery *)
+      Txn.with_tag txn Txn.Sched (fun () -> Faultinj.on_step i s)
+  in
+  let finish_inject () =
+    match inject with None -> () | Some i -> Faultinj.disarm i
+  in
   try
     if List.exists (fun a -> a.update.Update.update_id = update.update_id)
          t.stack
@@ -189,7 +245,12 @@ let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
           update.update_id
           (List.length update.replaced_functions)
           (List.length update.helpers));
-    (* 1. run-pre matching over every helper *)
+    (* === allocate: reserve module memory === *)
+    enter Txn.Allocate;
+    let alloc ~size ~align = Machine.alloc_module t.m ~size ~align in
+    let m0d = Modlink.layout ~alloc update.primary in
+    (* === link: run-pre matching, symbol resolution, relocation math === *)
+    enter Txn.Link;
     let inference = Runpre.create_inference () in
     let anchors = ref [] in
     List.iter
@@ -213,9 +274,6 @@ let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
         | exception Runpre.Ambiguous { unit_name; symbol; matches } ->
           raise (Fail (Ambiguous_symbol (unit_name, symbol, matches))))
       update.helpers;
-    (* 2. load the primary module *)
-    let alloc ~size ~align = Machine.alloc_module t.m ~size ~align in
-    let m0d = Modlink.layout ~alloc update.primary in
     let resolve name =
       match Modlink.symbol_addr m0d name with
       | Some a -> Some a
@@ -226,47 +284,21 @@ let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
           let raw, _ = Update.split_canonical name in
           unique_global t raw)
     in
+    let link_resolve =
+      match inject with
+      | Some i -> Faultinj.sabotage_resolve i resolve
+      | None -> resolve
+    in
     let writes =
-      try Modlink.relocate m0d ~resolve
+      try Modlink.relocate m0d ~resolve:link_resolve
       with Modlink.Load_error msg -> raise (Fail (Unresolved_symbol msg))
     in
-    List.iter (fun (addr, bytes) -> Machine.write_bytes t.m addr bytes) writes;
     let module_ranges =
       List.map
         (fun (p : Modlink.placed) -> (p.addr, p.addr + p.section.size))
         m0d.placed
     in
-    (* replacement code must be allowed to use privileged escapes *)
-    List.iter
-      (fun (p : Modlink.placed) ->
-        if p.section.kind = Section.Text then
-          Machine.add_privileged_range t.m (p.addr, p.addr + p.section.size))
-      m0d.placed;
-    (* module symbols join kallsyms (like insmod) *)
-    let added_symbols =
-      List.filter_map
-        (fun (name, addr) ->
-          let raw, _ = Update.split_canonical name in
-          let unit_name =
-            Option.value ~default:update.primary.unit_name
-              (List.assoc_opt name update.primary_sym_units)
-          in
-          let sym =
-            List.find_opt
-              (fun (s : Symbol.t) ->
-                String.equal s.name name && Symbol.is_defined s)
-              update.primary.symbols
-          in
-          match sym with
-          | Some s ->
-            Some
-              { Image.name = raw; addr; size = s.size; binding = s.binding;
-                kind = s.kind; unit_name }
-          | None -> None)
-        m0d.own_symbols
-    in
-    Machine.add_kallsyms t.m added_symbols;
-    (* 3. build the replacement plan *)
+    (* the replacement plan *)
     let replacements =
       List.map
         (fun (unit_name, cfn) ->
@@ -305,9 +337,62 @@ let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
             r_new_size = new_size })
         update.replaced_functions
     in
-    (* 4. hooks before capture *)
-    run_hooks t ~resolve update Ast.Hook_pre_apply;
-    (* 5. capture the CPUs, check quiescence, insert trampolines *)
+    (* === relocate: land the module bytes === *)
+    enter Txn.Relocate;
+    List.iter (fun (addr, bytes) -> Machine.write_bytes t.m addr bytes) writes;
+    (* read-back verification: a corrupted replacement must never go
+       live — every relocated byte is compared against what was meant *)
+    List.iter
+      (fun (addr, bytes) ->
+        let got = Machine.read_bytes t.m addr (Bytes.length bytes) in
+        if not (Bytes.equal got bytes) then
+          raise
+            (Fail
+               (Integrity
+                  (Printf.sprintf
+                     "relocated bytes at %#x did not verify after writing"
+                     addr))))
+      writes;
+    (* replacement code must be allowed to use privileged escapes *)
+    let priv_ranges =
+      List.filter_map
+        (fun (p : Modlink.placed) ->
+          if p.section.kind = Section.Text then
+            Some (p.addr, p.addr + p.section.size)
+          else None)
+        m0d.placed
+    in
+    List.iter (Machine.add_privileged_range t.m) priv_ranges;
+    (* module symbols join kallsyms (like insmod) *)
+    let added_symbols =
+      List.filter_map
+        (fun (name, addr) ->
+          let raw, _ = Update.split_canonical name in
+          let unit_name =
+            Option.value ~default:update.primary.unit_name
+              (List.assoc_opt name update.primary_sym_units)
+          in
+          let sym =
+            List.find_opt
+              (fun (s : Symbol.t) ->
+                String.equal s.name name && Symbol.is_defined s)
+              update.primary.symbols
+          in
+          match sym with
+          | Some s ->
+            Some
+              { Image.name = raw; addr; size = s.size; binding = s.binding;
+                kind = s.kind; unit_name }
+          | None -> None)
+        m0d.own_symbols
+    in
+    Machine.add_kallsyms t.m added_symbols;
+    (* === hook-pre === *)
+    enter Txn.Hook_pre;
+    Txn.with_tag txn Txn.Hook (fun () ->
+        run_hooks t ~resolve update Ast.Hook_pre_apply);
+    (* === capture, quiesce, trampoline === *)
+    enter Txn.Capture;
     let guard_ranges =
       List.map (fun r -> (r.r_old_addr, r.r_old_addr + r.r_old_size))
         replacements
@@ -323,59 +408,93 @@ let apply ?(tolerance = Runpre.full_tolerance) ?(max_attempts = 10)
           ignore (Isa.encode buf 0 (Isa.Jmp (Int32.of_int disp)) : int);
           Machine.write_bytes t.m r.r_old_addr buf)
         replacements;
-      run_hooks t ~resolve update Ast.Hook_apply
+      Txn.with_tag txn Txn.Hook (fun () ->
+          run_hooks t ~resolve update Ast.Hook_apply)
     in
-    let rec attempt n =
+    let veto () =
+      match inject with
+      | Some i -> Faultinj.veto_quiescence i
+      | None -> false
+    in
+    let rec attempt n spent =
       let (ok : bool), pause_ns =
         Machine.stop_machine t.m (fun () ->
-            if quiescent t.m guard_ranges then begin
+            enter Txn.Quiesce;
+            if quiescent t.m guard_ranges && not (veto ()) then begin
+              enter Txn.Trampoline;
               insert ();
               true
             end
             else false)
       in
       if ok then pause_ns
-      else if n + 1 >= max_attempts then begin
-        (* name the offenders: which threads still hold the functions *)
-        List.iter
-          (fun (th : Machine.thread) ->
-            match th.state with
-            | Machine.Runnable | Machine.Sleeping _ ->
-              Log.info (fun k ->
-                  k "quiescence blocked by thread %d (%s): %s" th.tid
-                    th.name
-                    (String.concat " <- " (Machine.backtrace t.m th)))
-            | _ -> ())
-          (Machine.threads t.m);
-        raise
-          (Fail
-             (Not_quiescent (List.map (fun r -> r.r_fn) replacements)))
-      end
       else begin
-        (* short delay: let the scheduler drain the functions *)
-        Log.debug (fun k ->
-            k "quiescence attempt %d failed; letting the scheduler run" n);
-        ignore (Machine.run t.m ~steps:retry_steps : int);
-        attempt (n + 1)
+        let delay =
+          min (backoff_steps ~retry_base ~retry_cap n) (retry_budget - spent)
+        in
+        if n + 1 >= max_attempts || delay <= 0 then begin
+          let blockers = blocking_threads t.m guard_ranges in
+          List.iter
+            (fun (who, bt) ->
+              Log.info (fun k ->
+                  k "quiescence blocked by %s: %s" who
+                    (String.concat " <- " bt)))
+            blockers;
+          raise
+            (Fail
+               (Not_quiescent
+                  { nq_functions =
+                      List.map (fun r -> r.r_fn) replacements;
+                    nq_attempts = n + 1; nq_steps_run = spent;
+                    nq_blockers = blockers }))
+        end
+        else begin
+          (* exponential backoff: let the scheduler drain the functions *)
+          Log.debug (fun k ->
+              k "quiescence attempt %d failed; backing off %d steps" n
+                delay);
+          Txn.with_tag txn Txn.Sched (fun () ->
+              ignore (Machine.run t.m ~steps:delay : int));
+          attempt (n + 1) (spent + delay)
+        end
       end
     in
-    let pause_ns = attempt 0 in
-    (* 6. hooks after release *)
-    run_hooks t ~resolve update Ast.Hook_post_apply;
+    let pause_ns = attempt 0 0 in
+    (* === commit === *)
+    enter Txn.Commit;
+    Txn.with_tag txn Txn.Hook (fun () ->
+        run_hooks t ~resolve update Ast.Hook_post_apply);
+    let journal = Txn.commit txn in
+    finish_inject ();
     let a =
       { update; replacements; saved = List.rev !saved; module_ranges;
-        module_image = writes; added_symbols; pause_ns }
+        module_image = writes; added_symbols; priv_ranges; journal;
+        pause_ns }
     in
     t.stack <- a :: t.stack;
     Log.info (fun k ->
-        k "update %s applied (simulated pause %d ns)" update.update_id
-          pause_ns);
+        k "update %s applied (simulated pause %d ns; %d journal entries)"
+          update.update_id pause_ns (Txn.journal_entries journal));
     Ok a
-  with Fail e ->
+  with
+  | Fail e ->
+    Txn.rollback txn;
+    finish_inject ();
+    Log.warn (fun k -> k "apply %s failed: %a" update.update_id pp_error e);
+    Error e
+  | Machine.Out_of_memory msg ->
+    Txn.rollback txn;
+    finish_inject ();
+    let e = Out_of_memory msg in
     Log.warn (fun k -> k "apply %s failed: %a" update.update_id pp_error e);
     Error e
 
-let undo t update_id =
+let undo ?(max_attempts = default_max_attempts)
+    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
+    ?(retry_budget = default_retry_budget) t update_id =
+  (* undo is transactional too: a faulted reverse hook or quiescence
+     failure leaves the update applied and the kernel untouched *)
+  let txn = Txn.begin_ t.m in
   try
     (match t.stack with
      | [] -> raise (Fail (Not_applied update_id))
@@ -413,45 +532,66 @@ let undo t update_id =
             | [ s ] -> Some s.addr
             | _ -> None))
        in
-       run_hooks t ~resolve top.update Ast.Hook_pre_reverse;
+       Txn.with_tag txn Txn.Hook (fun () ->
+           run_hooks t ~resolve top.update Ast.Hook_pre_reverse);
        let guard_ranges =
          List.map (fun r -> (r.r_new_addr, r.r_new_addr + r.r_new_size))
            top.replacements
        in
-       let rec attempt n =
+       let rec attempt n spent =
          let ok, _pause =
            Machine.stop_machine t.m (fun () ->
                if quiescent t.m guard_ranges then begin
-                 List.iter
-                   (fun (addr, bytes) -> Machine.write_bytes t.m addr bytes)
-                   top.saved;
-                 (try run_hooks t ~resolve top.update Ast.Hook_reverse
-                  with Fail _ as e -> raise e);
+                 (* replay the apply journal: trampolines out first, then
+                    module bytes — the image returns to its pre-apply
+                    contents byte for byte *)
+                 Txn.replay top.journal t.m;
+                 Txn.with_tag txn Txn.Hook (fun () ->
+                     run_hooks t ~resolve top.update Ast.Hook_reverse);
                  true
                end
                else false)
          in
          if ok then ()
-         else if n + 1 >= 10 then
-           raise
-             (Fail
-                (Not_quiescent
-                   (List.map (fun r -> r.r_fn) top.replacements)))
          else begin
-           ignore (Machine.run t.m ~steps:2000 : int);
-           attempt (n + 1)
+           let delay =
+             min (backoff_steps ~retry_base ~retry_cap n)
+               (retry_budget - spent)
+           in
+           if n + 1 >= max_attempts || delay <= 0 then
+             raise
+               (Fail
+                  (Not_quiescent
+                     { nq_functions =
+                         List.map (fun r -> r.r_fn) top.replacements;
+                       nq_attempts = n + 1; nq_steps_run = spent;
+                       nq_blockers = blocking_threads t.m guard_ranges }))
+           else begin
+             Txn.with_tag txn Txn.Sched (fun () ->
+                 ignore (Machine.run t.m ~steps:delay : int));
+             attempt (n + 1) (spent + delay)
+           end
          end
        in
-       attempt 0;
-       run_hooks t ~resolve top.update Ast.Hook_post_reverse;
+       attempt 0 0;
+       Txn.with_tag txn Txn.Hook (fun () ->
+           run_hooks t ~resolve top.update Ast.Hook_post_reverse);
        Machine.remove_kallsyms t.m (fun s ->
            List.exists
              (fun (a : Image.syminfo) ->
                a.addr = s.addr && String.equal a.name s.name)
              top.added_symbols);
+       List.iter (Machine.remove_privileged_range t.m) top.priv_ranges;
        t.stack <- rest);
+    Txn.discard txn;
     Ok ()
-  with Fail e -> Error e
+  with
+  | Fail e ->
+    Txn.rollback txn;
+    Error e
+  | Machine.Out_of_memory msg ->
+    Txn.rollback txn;
+    Error (Out_of_memory msg)
 
 (* [verify] audits the applied stack: the topmost replacement of every
    function owns the jump at the code location it patched, and module

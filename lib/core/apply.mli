@@ -2,22 +2,35 @@
     kernel, the quiescence safety check, trampoline insertion, custom-code
     hooks, and reversal.
 
-    Applying an update:
-    + run-pre match every helper against kernel memory (safety + symbol
-      resolution);
-    + load the primary module into module memory, relocating it with the
-      inferred symbol values (falling back to unique kallsyms globals);
-    + run [ksplice_pre_apply] hooks;
-    + under [stop_machine], check that no thread's instruction pointer or
-      stack return addresses fall within any to-be-replaced function
-      (§5.2) — retrying after letting the scheduler advance, then
-      abandoning; insert a 5-byte jump at each obsolete function's entry;
-      run [ksplice_apply] hooks while the machine is stopped;
-    + run [ksplice_post_apply] hooks.
+    [apply] is a transaction over the journaled steps of {!Txn.step}:
 
-    Undo restores the saved instruction bytes (§5: "reversing an update
-    removes the jump instructions"), guarded by the symmetric quiescence
-    check on the replacement code, with the three reverse hooks. *)
+    + {b allocate} — reserve module memory;
+    + {b link} — run-pre match every helper against kernel memory
+      (safety + symbol resolution, §4.2), resolve the primary's symbols
+      (falling back to unique kallsyms globals), compute relocations;
+    + {b relocate} — write the module bytes and read-verify them,
+      publish module symbols to kallsyms;
+    + {b hook-pre} — run [ksplice_pre_apply] hooks;
+    + {b capture}/{b quiesce} — under [stop_machine], check that no
+      thread's instruction pointer or stack return addresses fall within
+      any to-be-replaced function (§5.2), retrying under bounded
+      exponential backoff;
+    + {b trampoline} — insert a 5-byte jump at each obsolete function's
+      entry; run [ksplice_apply] hooks while the machine is stopped;
+    + {b commit} — run [ksplice_post_apply] hooks, retain the journal,
+      record the update.
+
+    Every machine mutation is journaled in a {!Txn.t}; on {e any}
+    failure the journal replays in reverse and the volatile snapshot is
+    restored, leaving the kernel byte-identical to its pre-apply state
+    (checkable with [Machine.diff_snapshot]).
+
+    Undo is symmetric and equally transactional: guarded by the
+    quiescence check on the replacement code, it replays the retained
+    apply journal (restoring trampoline sites {e and} module bytes),
+    runs the three reverse hooks, and unpublishes symbols and privilege
+    ranges. A failed undo leaves the update applied and the kernel
+    unchanged. *)
 
 type replacement = {
   r_unit : string;
@@ -35,7 +48,21 @@ type applied = {
   module_ranges : (int * int) list;  (** placed primary sections *)
   module_image : (int * Bytes.t) list;  (** relocated bytes as written *)
   added_symbols : Klink.Image.syminfo list;
+  priv_ranges : (int * int) list;
+      (** privileged-text ranges this apply registered *)
+  journal : Txn.journal;
+      (** machinery writes retained for [ksplice-undo] *)
   pause_ns : int;  (** simulated stop_machine pause *)
+}
+
+(** Quiescence diagnostics: which functions stayed busy, how hard we
+    tried, and who was in the way. *)
+type not_quiescent = {
+  nq_functions : string list;  (** functions still in use *)
+  nq_attempts : int;  (** stop_machine attempts made *)
+  nq_steps_run : int;  (** total backoff scheduler steps consumed *)
+  nq_blockers : (string * string list) list;
+      (** blocking thread ("thread <tid> (<name>)") and its backtrace *)
 }
 
 type error =
@@ -43,13 +70,14 @@ type error =
       (** run and pre code differ: the §4.2 safety abort *)
   | Ambiguous_symbol of string * string * int  (** unit, symbol, matches *)
   | Unresolved_symbol of string
-  | Not_quiescent of string list  (** functions still in use after retries *)
+  | Not_quiescent of not_quiescent
   | Function_too_small of string
   | Hook_fault of string * Kernel.Machine.fault
+  | Out_of_memory of string  (** module area exhausted (or injected) *)
   | Already_applied of string
   | Not_applied of string
   | Not_topmost of string  (** a later update still redirects its code *)
-  | Integrity of string  (** post-apply verification found damage *)
+  | Integrity of string  (** a verification found damage *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -63,17 +91,42 @@ val machine : t -> Kernel.Machine.t
 (** Applied updates, most recent first. *)
 val applied : t -> applied list
 
-(** [apply t update] performs the full §5 sequence. [max_attempts]
-    (default 10) bounds quiescence retries; between attempts the scheduler
-    advances [retry_steps] (default 2000) instructions. [tolerance]
-    selects run-pre matcher capabilities (ablation experiments only). *)
+(** [apply t update] runs the transactional pipeline above.
+
+    Quiescence retries use bounded exponential backoff: before attempt
+    [n+1] the scheduler advances [min retry_cap (retry_base * 2^n)]
+    instructions (defaults 250 and 4000), within a total budget of
+    [retry_budget] steps (default 20_000) and at most [max_attempts]
+    attempts (default 10). On final failure the [Not_quiescent] error
+    carries the attempt count, steps consumed, and the blocking threads
+    with backtraces.
+
+    [tolerance] selects run-pre matcher capabilities (ablation
+    experiments only). [inject] threads a {!Faultinj.session} through
+    the pipeline — each step boundary notifies the session so it can arm
+    and disarm its machine-level fault hooks. *)
 val apply :
   ?tolerance:Runpre.tolerance ->
-  ?max_attempts:int -> ?retry_steps:int -> t -> Update.t ->
+  ?max_attempts:int ->
+  ?retry_base:int ->
+  ?retry_cap:int ->
+  ?retry_budget:int ->
+  ?inject:Faultinj.session ->
+  t -> Update.t ->
   (applied, error) result
 
-(** [undo t id] reverses the most recent update, which must be [id]. *)
-val undo : t -> string -> (unit, error) result
+(** [undo t id] reverses the most recent update, which must be [id],
+    transactionally (same backoff parameters as {!apply}). On success
+    the kernel image is byte-identical to its pre-apply contents at the
+    journaled addresses; on failure it is wholly unchanged and the
+    update remains applied. *)
+val undo :
+  ?max_attempts:int ->
+  ?retry_base:int ->
+  ?retry_cap:int ->
+  ?retry_budget:int ->
+  t -> string ->
+  (unit, error) result
 
 (** [verify t] audits every applied update: each replaced function's entry
     must still hold the jump to its (topmost) replacement, and the

@@ -180,8 +180,15 @@ let match_text ~tolerance ~read_run ~(helper : Objfile.t)
          match Isa.imm_field ipre with
          | Some (field_off, _) when reloc_at (!pre_pos + field_off) <> None ->
            let r = Option.get (reloc_at (!pre_pos + field_off)) in
-           (* operand shapes must agree apart from the immediate *)
-           if with_imm irun 0l <> ipre then
+           (* operand shapes must agree apart from the immediate; a run
+              instruction with no immediate field at all (mutated or
+              misaligned code) is a mismatch, not a crash *)
+           let irun_holed =
+             match with_imm irun 0l with
+             | i -> Some i
+             | exception Invalid_argument _ -> None
+           in
+           if irun_holed <> Some ipre then
              fail !pre_pos !run_pos
                (Printf.sprintf "instruction mismatch at hole: pre %s, run %s"
                   (Isa.insn_to_string ipre) (Isa.insn_to_string irun));

@@ -1,0 +1,219 @@
+module Machine = Kernel.Machine
+module Txn = Ksplice.Txn
+module Faultinj = Ksplice.Faultinj
+module Apply = Ksplice.Apply
+module Create = Ksplice.Create
+
+type cell =
+  | Rolled_back
+  | Benign
+  | Not_applicable
+  | Violation of string list
+
+let cell_char = function
+  | Rolled_back -> 'R'
+  | Benign -> 'B'
+  | Not_applicable -> '-'
+  | Violation _ -> '!'
+
+type row = {
+  cve_id : string;
+  cells : (Txn.step * cell) list;
+  recovered : bool;
+  notes : string list;
+}
+
+type report = {
+  rows : row list;
+  total_cells : int;
+  rolled_back : int;
+  benign : int;
+  not_applicable : int;
+  violations : int;
+  recovery_failures : int;
+}
+
+let err_str e = Format.asprintf "%a" Apply.pp_error e
+
+let create_update (cve : Cve.t) base =
+  let patch = Cve.hot_patch cve base in
+  match
+    Create.create
+      { source = base; patch; update_id = cve.id; description = cve.desc }
+  with
+  | Ok c -> c.Create.update
+  | Error e ->
+    failwith
+      (Format.asprintf "%s: create failed: %a" cve.id Create.pp_error e)
+
+(* One (cve, step) cell: snapshot, apply under injection, judge. The
+   machine is reused across cells — rollback (and undo, for cells where
+   the apply succeeded) must return it to a consistent state, which the
+   next cell's snapshot then re-baselines. *)
+let run_cell mgr cve_id update step ~seed =
+  let m = Apply.machine mgr in
+  let snap = Machine.snapshot m in
+  let plan = { Faultinj.step; kind = Faultinj.kind_for_step step; seed } in
+  let session = Faultinj.make m plan in
+  let result = Apply.apply mgr ~inject:session update in
+  Faultinj.disarm session;
+  let fired = Faultinj.fired session in
+  match result with
+  | Error e ->
+    let diff = Machine.diff_snapshot m snap in
+    if diff <> [] then
+      Violation
+        (Format.asprintf "abort of %a left the machine diverged: %s"
+           Faultinj.pp_plan plan (err_str e)
+         :: diff)
+    else if not fired then
+      Violation
+        [ Format.asprintf
+            "%a never fired yet apply failed: %s" Faultinj.pp_plan plan
+            (err_str e) ]
+    else Rolled_back
+  | Ok _ ->
+    (* the apply went through; it must be a benign or unfired fault, and
+       the update must verify and undo cleanly for the next cell *)
+    let verdict =
+      if fired && Faultinj.expect_abort plan.kind then
+        Violation
+          [ Format.asprintf "%a fired but apply succeeded"
+              Faultinj.pp_plan plan ]
+      else
+        match Apply.verify mgr with
+        | Error e ->
+          Violation
+            [ Format.asprintf "apply under %a did not verify: %s"
+                Faultinj.pp_plan plan (err_str e) ]
+        | Ok () -> if fired then Benign else Not_applicable
+    in
+    (match Apply.undo mgr cve_id with
+     | Ok () -> verdict
+     | Error e -> (
+       match verdict with
+       | Violation msgs ->
+         Violation (msgs @ [ "and undo failed: " ^ err_str e ])
+       | _ -> Violation [ "undo after surviving apply failed: " ^ err_str e ]))
+
+(* After the faulted cells: the CVE's hot update must still apply
+   cleanly on the same machine, hold up under stress, and (where an
+   exploit exists) block it. *)
+let check_recovery (b : Boot.booted) mgr (cve : Cve.t) update =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  (match Apply.apply mgr update with
+   | Error e -> note "clean re-apply failed: %s" (err_str e)
+   | Ok _ -> (
+     (match Apply.verify mgr with
+      | Ok () -> ()
+      | Error e -> note "verify after re-apply: %s" (err_str e));
+     let r = Stress.run b ~threads:2 ~iterations:5 in
+     if not r.ok then
+       note "stress after re-apply: %s" (String.concat "; " r.failures);
+     match Exploits.find cve.id with
+     | None -> ()
+     | Some ex ->
+       let o = ex.run b in
+       if o.succeeded then
+         note "exploit %s still succeeds after re-apply: %s" ex.name o.detail));
+  (!notes = [], List.rev !notes)
+
+let sweep_cve ~seed index (cve : Cve.t) base =
+  let update = create_update cve base in
+  let b = Boot.boot () in
+  let mgr = Apply.init b.machine in
+  let cells =
+    List.mapi
+      (fun si step ->
+        let cell_seed = seed + (1009 * index) + (31 * si) in
+        (step, run_cell mgr cve.id update step ~seed:cell_seed))
+      Txn.all_steps
+  in
+  let recovered, notes = check_recovery b mgr cve update in
+  { cve_id = cve.id; cells; recovered; notes }
+
+let summarize rows =
+  let count f =
+    List.fold_left
+      (fun acc r ->
+        acc + List.length (List.filter (fun (_, c) -> f c) r.cells))
+      0 rows
+  in
+  {
+    rows;
+    total_cells = count (fun _ -> true);
+    rolled_back = count (fun c -> c = Rolled_back);
+    benign = count (fun c -> c = Benign);
+    not_applicable = count (fun c -> c = Not_applicable);
+    violations =
+      count (function Violation _ -> true | _ -> false);
+    recovery_failures =
+      List.length (List.filter (fun r -> not r.recovered) rows);
+  }
+
+let run ?(seed = 0) ?cves ?progress () =
+  let cves = Option.value cves ~default:Cve.all in
+  let base = Base_kernel.tree () in
+  let rows =
+    List.mapi
+      (fun i cve ->
+        let row = sweep_cve ~seed i cve base in
+        (match progress with
+         | None -> ()
+         | Some f ->
+           f
+             (Printf.sprintf "%-14s %s %s" row.cve_id
+                (String.init (List.length row.cells) (fun j ->
+                     cell_char (snd (List.nth row.cells j))))
+                (if row.recovered then "recovered" else "RECOVERY FAILED")));
+        row)
+      cves
+  in
+  summarize rows
+
+let ok r = r.violations = 0 && r.recovery_failures = 0
+
+let pp_matrix ppf r =
+  let steps = Txn.all_steps in
+  (* header: abbreviated step names, vertical *)
+  Format.fprintf ppf "fault-injection sweep: %d CVEs x %d steps@\n@\n"
+    (List.length r.rows) (List.length steps);
+  Format.fprintf ppf "%-16s %s  recovered@\n" "CVE"
+    (String.concat " "
+       (List.map (fun s -> String.sub (Txn.step_name s) 0 2) steps));
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-16s %s  %s@\n" row.cve_id
+        (String.concat "  "
+           (List.map (fun (_, c) -> String.make 1 (cell_char c)) row.cells))
+        (if row.recovered then "yes" else "NO"))
+    r.rows;
+  Format.fprintf ppf
+    "@\nR rolled back clean  B benign  - fault never fired  ! violation@\n";
+  Format.fprintf ppf
+    "cells: %d  rolled-back: %d  benign: %d  n/a: %d  violations: %d  \
+     recovery failures: %d@\n"
+    r.total_cells r.rolled_back r.benign r.not_applicable r.violations
+    r.recovery_failures;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (step, c) ->
+          match c with
+          | Violation msgs ->
+            Format.fprintf ppf "VIOLATION %s @@ %s:@\n" row.cve_id
+              (Txn.step_name step);
+            List.iter (fun m -> Format.fprintf ppf "  %s@\n" m) msgs
+          | _ -> ())
+        row.cells;
+      if not row.recovered then begin
+        Format.fprintf ppf "RECOVERY FAILURE %s:@\n" row.cve_id;
+        List.iter (fun m -> Format.fprintf ppf "  %s@\n" m) row.notes
+      end)
+    r.rows;
+  if ok r then
+    Format.fprintf ppf
+      "all faulted applies rolled back byte-identically; all CVEs \
+       re-applied, verified, stressed%s@\n"
+      " and exploit-checked"

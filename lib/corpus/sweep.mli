@@ -1,0 +1,60 @@
+(** The systematic fault-injection sweep: for every CVE in the corpus,
+    inject the canonical fault at each apply-pipeline step, assert
+    crash-consistent rollback (byte-identical machine), then re-apply
+    fault-free and confirm the patched kernel still survives the stress
+    workload and blocks its exploit.
+
+    The sweep is fully deterministic in [seed]; a failing cell can be
+    replayed with [Faultinj.make] and the printed plan. *)
+
+(** Outcome of one (CVE, step) cell. *)
+type cell =
+  | Rolled_back
+      (** the fault fired, apply aborted, and the machine was
+          byte-identical to its pre-apply snapshot *)
+  | Benign
+      (** a non-aborting fault ([Sched_perturb]) fired and apply still
+          succeeded and verified *)
+  | Not_applicable
+      (** the armed fault never fired (e.g. a hook fault on an update
+          with no hooks at that step); apply succeeded and was undone *)
+  | Violation of string list
+      (** rollback or abort contract broken; the diagnostics *)
+
+val cell_char : cell -> char
+(** [R]olled-back, [B]enign, [-] not applicable, [!] violation. *)
+
+type row = {
+  cve_id : string;
+  cells : (Ksplice.Txn.step * cell) list;  (** in pipeline order *)
+  recovered : bool;
+      (** after the faulted cells: clean apply + verify + stress (+
+          exploit blocked, where one exists) all passed *)
+  notes : string list;  (** recovery diagnostics when [recovered = false] *)
+}
+
+type report = {
+  rows : row list;
+  total_cells : int;
+  rolled_back : int;
+  benign : int;
+  not_applicable : int;
+  violations : int;
+  recovery_failures : int;
+}
+
+(** [run ?seed ?cves ?progress ()] sweeps [cves] (default: all 64).
+    [progress] (if given) receives one line per CVE as it completes. *)
+val run :
+  ?seed:int ->
+  ?cves:Cve.t list ->
+  ?progress:(string -> unit) ->
+  unit ->
+  report
+
+(** No violations and every CVE recovered. *)
+val ok : report -> bool
+
+(** The step × fault matrix: one row per CVE, one column per pipeline
+    step, plus totals and a closing verdict line. *)
+val pp_matrix : Format.formatter -> report -> unit

@@ -57,9 +57,18 @@ type t = {
   call_stack_hi : int;
   call_stack_lo : int;
   mutable in_call_function : bool;
+  (* observation and fault-injection hooks (transactional apply support):
+     the observer sees every memory mutation before it lands; the
+     injectors perturb allocation, host-side writes, and host-initiated
+     calls *)
+  mutable write_observer : (int -> int -> unit) option;
+  mutable inj_alloc : (size:int -> align:int -> bool) option;
+  mutable inj_write : (int -> Bytes.t -> Bytes.t) option;
+  mutable inj_call : (int -> fault option) option;
 }
 
 exception Vm_fault of fault
+exception Out_of_memory of string
 
 let quantum = 64
 let stack_size = 64 * 1024
@@ -98,6 +107,10 @@ let create ?(mem_size = 0x0200_0000) (img : Klink.Image.t) =
       call_stack_hi = mem_size - 0x100;
       call_stack_lo = mem_size - 0x3000;
       in_call_function = false;
+      write_observer = None;
+      inj_alloc = None;
+      inj_write = None;
+      inj_call = None;
     }
   in
   (match Klink.Image.lookup_global img "syscall_entry" with
@@ -115,6 +128,28 @@ let remove_kallsyms t pred =
   t.syms <- List.filter (fun s -> not (pred s)) t.syms
 let privileged_ranges t = t.priv
 let add_privileged_range t r = t.priv <- r :: t.priv
+
+let remove_privileged_range t r =
+  let removed = ref false in
+  t.priv <-
+    List.filter
+      (fun x ->
+        if (not !removed) && x = r then begin
+          removed := true;
+          false
+        end
+        else true)
+      t.priv
+
+let set_write_observer t f = t.write_observer <- f
+let set_alloc_injector t f = t.inj_alloc <- f
+let set_write_injector t f = t.inj_write <- f
+let set_call_injector t f = t.inj_call <- f
+
+let clear_injectors t =
+  t.inj_alloc <- None;
+  t.inj_write <- None;
+  t.inj_call <- None
 let set_syscall_entry t a = t.syscall_entry_addr <- Some a
 let syscall_entry t = t.syscall_entry_addr
 
@@ -123,6 +158,11 @@ let syscall_entry t = t.syscall_entry_addr
 let check t addr size =
   if addr < 0x1000 || addr + size > t.mem_size then
     raise (Vm_fault (Memory_violation addr))
+
+(* every mutation of [t.mem] announces (addr, len) here *before* the
+   bytes change, so a transaction journal can capture the old contents *)
+let observe t addr len =
+  match t.write_observer with None -> () | Some f -> f addr len
 
 let read_u8 t a =
   check t a 1;
@@ -138,22 +178,30 @@ let read_bytes t a n =
 
 let write_u8 t a v =
   check t a 1;
+  observe t a 1;
   Bytes.set_uint8 t.mem a (v land 0xff)
 
 let write_i32 t a v =
   check t a 4;
+  observe t a 4;
   Bytes.set_int32_le t.mem a v
 
 let write_bytes t a b =
   check t a (max (Bytes.length b) 1);
+  observe t a (Bytes.length b);
+  let b = match t.inj_write with None -> b | Some f -> f a b in
   Bytes.blit b 0 t.mem a (Bytes.length b)
 
 let alloc_module t ~size ~align =
+  (match t.inj_alloc with
+   | Some f when f ~size ~align ->
+     raise (Out_of_memory "injected allocation failure")
+   | _ -> ());
   let align = max 1 align in
   let addr = (t.module_cursor + align - 1) / align * align in
   let next = addr + max size 1 in
   if next > t.next_stack_top - (64 * 1024) then
-    failwith "Machine.alloc_module: module area exhausted";
+    raise (Out_of_memory "module area exhausted");
   t.module_cursor <- next;
   addr
 
@@ -166,6 +214,7 @@ let push_on th t v =
   let sp = Int32.to_int th.regs.(8) - 4 in
   if sp < th.stack_lo then raise (Vm_fault (Memory_violation sp));
   check t sp 4;
+  observe t sp 4;
   Bytes.set_int32_le t.mem sp v;
   th.regs.(8) <- Int32.of_int sp
 
@@ -228,6 +277,7 @@ let store t width addr v =
   | Isa.W8 -> write_u8 t addr (Int32.to_int v land 0xff)
   | Isa.W16 ->
     check t addr 2;
+    observe t addr 2;
     Bytes.set_uint16_le t.mem addr (Int32.to_int v land 0xffff)
   | Isa.W32 -> write_i32 t addr v
 
@@ -513,6 +563,11 @@ let call_function ?(step_limit = 2_000_000) ?(uid = 0) t ~addr ~args =
   Fun.protect
     ~finally:(fun () -> t.in_call_function <- false)
     (fun () ->
+      match
+        match t.inj_call with Some f -> f addr | None -> None
+      with
+      | Some injected -> Error injected
+      | None ->
       let th =
         {
           tid = 0;
@@ -591,3 +646,156 @@ let stop_machine t f =
   let pause_ns = 500_000 + (50_000 * live) in
   let r = f () in
   (r, pause_ns)
+
+(* --- transactional state capture --- *)
+
+type thread_snap = {
+  ts_thread : thread;
+  ts_pc : int;
+  ts_regs : int32 array;
+  ts_state : thread_state;
+  ts_uid : int;
+  ts_eq : bool;
+  ts_lt : bool;
+}
+
+type volatile_state = {
+  v_syms : Klink.Image.syminfo list;
+  v_priv : (int * int) list;
+  v_threads : thread_snap list;
+  v_threads_rev : thread list;
+  v_next_tid : int;
+  v_tick : int;
+  v_console_len : int;
+  v_module_cursor : int;
+  v_next_stack_top : int;
+  v_syscall : int option;
+  v_shadows : (int * int, int) Hashtbl.t;
+}
+
+let save_volatile t =
+  {
+    v_syms = t.syms;
+    v_priv = t.priv;
+    v_threads =
+      List.map
+        (fun th ->
+          { ts_thread = th; ts_pc = th.pc; ts_regs = Array.copy th.regs;
+            ts_state = th.state; ts_uid = th.uid; ts_eq = th.flag_eq;
+            ts_lt = th.flag_lt })
+        t.threads_rev;
+    v_threads_rev = t.threads_rev;
+    v_next_tid = t.next_tid;
+    v_tick = t.tick_count;
+    v_console_len = Buffer.length t.console_buf;
+    v_module_cursor = t.module_cursor;
+    v_next_stack_top = t.next_stack_top;
+    v_syscall = t.syscall_entry_addr;
+    v_shadows = Hashtbl.copy t.shadows;
+  }
+
+let restore_volatile t v =
+  t.syms <- v.v_syms;
+  t.priv <- v.v_priv;
+  List.iter
+    (fun s ->
+      let th = s.ts_thread in
+      th.pc <- s.ts_pc;
+      Array.blit s.ts_regs 0 th.regs 0 (Array.length th.regs);
+      th.state <- s.ts_state;
+      th.uid <- s.ts_uid;
+      th.flag_eq <- s.ts_eq;
+      th.flag_lt <- s.ts_lt)
+    v.v_threads;
+  t.threads_rev <- v.v_threads_rev;
+  t.next_tid <- v.v_next_tid;
+  t.tick_count <- v.v_tick;
+  if Buffer.length t.console_buf > v.v_console_len then begin
+    let kept = Buffer.sub t.console_buf 0 v.v_console_len in
+    Buffer.clear t.console_buf;
+    Buffer.add_string t.console_buf kept
+  end;
+  t.module_cursor <- v.v_module_cursor;
+  t.next_stack_top <- v.v_next_stack_top;
+  t.syscall_entry_addr <- v.v_syscall;
+  Hashtbl.reset t.shadows;
+  Hashtbl.iter (fun k x -> Hashtbl.replace t.shadows k x) v.v_shadows
+
+(* --- byte-identity snapshots (rollback verification) --- *)
+
+type snapshot = {
+  s_mem : Bytes.t;
+  s_syms : Klink.Image.syminfo list;
+  s_priv : (int * int) list;
+  s_threads :
+    (int * string * int * int32 array * thread_state * int * bool * bool) list;
+  s_tick : int;
+  s_console : string;
+  s_shadows : ((int * int) * int) list;
+}
+
+let thread_tuples t =
+  List.map
+    (fun th ->
+      (th.tid, th.name, th.pc, Array.copy th.regs, th.state, th.uid,
+       th.flag_eq, th.flag_lt))
+    (threads t)
+
+let shadow_bindings t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.shadows [])
+
+let snapshot t =
+  {
+    s_mem = Bytes.copy t.mem;
+    s_syms = t.syms;
+    s_priv = t.priv;
+    s_threads = thread_tuples t;
+    s_tick = t.tick_count;
+    s_console = Buffer.contents t.console_buf;
+    s_shadows = shadow_bindings t;
+  }
+
+let diff_snapshot t s =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> out := m :: !out) fmt in
+  if not (Bytes.equal t.mem s.s_mem) then begin
+    let shown = ref 0 in
+    let i = ref 0 in
+    let n = min (Bytes.length t.mem) (Bytes.length s.s_mem) in
+    while !i < n && !shown < 4 do
+      if Bytes.get t.mem !i <> Bytes.get s.s_mem !i then begin
+        add "memory differs at %#x: now %#x, snapshot %#x" !i
+          (Bytes.get_uint8 t.mem !i)
+          (Bytes.get_uint8 s.s_mem !i);
+        incr shown;
+        (* jump past this word to avoid flooding the report *)
+        i := ((!i / 16) + 1) * 16
+      end
+      else incr i
+    done
+  end;
+  if List.sort compare t.syms <> List.sort compare s.s_syms then
+    add "kallsyms differ: %d entries now, %d in snapshot"
+      (List.length t.syms) (List.length s.s_syms);
+  if List.sort compare t.priv <> List.sort compare s.s_priv then
+    add "privileged ranges differ: %d now, %d in snapshot"
+      (List.length t.priv) (List.length s.s_priv);
+  let now_threads = thread_tuples t in
+  if List.length now_threads <> List.length s.s_threads then
+    add "thread count differs: %d now, %d in snapshot"
+      (List.length now_threads) (List.length s.s_threads)
+  else
+    List.iter2
+      (fun (tid, name, pc, regs, state, uid, eq, lt)
+           (tid', _, pc', regs', state', uid', eq', lt') ->
+        if
+          tid <> tid' || pc <> pc' || regs <> regs' || state <> state'
+          || uid <> uid' || eq <> eq' || lt <> lt'
+        then add "thread %d (%s) state differs from snapshot" tid name)
+      now_threads s.s_threads;
+  if t.tick_count <> s.s_tick then
+    add "tick differs: %d now, %d in snapshot" t.tick_count s.s_tick;
+  if not (String.equal (Buffer.contents t.console_buf) s.s_console) then
+    add "console output differs";
+  if shadow_bindings t <> s.s_shadows then add "shadow bindings differ";
+  List.rev !out

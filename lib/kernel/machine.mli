@@ -120,3 +120,65 @@ val backtrace : t -> thread -> string list
 val set_syscall_entry : t -> int -> unit
 
 val syscall_entry : t -> int option
+
+(** Raised by {!alloc_module} when the module area is exhausted, or when
+    an armed allocation injector forces a failure. *)
+exception Out_of_memory of string
+
+(** {2 Observation and fault-injection hooks}
+
+    These exist for the transactional apply path (journaling) and for
+    systematic fault injection ([Ksplice.Faultinj]); the machine itself
+    never arms them. *)
+
+(** [set_write_observer t f] installs [f addr len], called before every
+    mutation of machine memory — host-side writes, interpreter stores,
+    and stack pushes alike — so a journal can capture the old bytes. *)
+val set_write_observer : t -> (int -> int -> unit) option -> unit
+
+(** Allocation injector: consulted by {!alloc_module}; returning [true]
+    makes the allocation raise {!Out_of_memory}. *)
+val set_alloc_injector : t -> (size:int -> align:int -> bool) option -> unit
+
+(** Write injector: transforms the bytes of host-side {!write_bytes}
+    calls (module loads, trampoline pokes) — the transform must preserve
+    length. Interpreter stores are not affected. *)
+val set_write_injector : t -> (int -> Bytes.t -> Bytes.t) option -> unit
+
+(** Call injector: consulted by {!call_function} before execution;
+    [Some fault] makes the call fail without running a single
+    instruction. *)
+val set_call_injector : t -> (int -> fault option) option -> unit
+
+(** Drop all armed injectors (the observer is left alone). *)
+val clear_injectors : t -> unit
+
+val remove_privileged_range : t -> int * int -> unit
+
+(** {2 Transactional state capture}
+
+    [save_volatile]/[restore_volatile] cover everything {e except} raw
+    memory bytes — kallsyms, privileged ranges, thread registers/states,
+    spawned threads, tick, console length, allocator cursors, shadow
+    bindings — which a transaction journal restores separately. *)
+
+type volatile_state
+
+val save_volatile : t -> volatile_state
+val restore_volatile : t -> volatile_state -> unit
+
+(** {2 Byte-identity snapshots}
+
+    A full copy of machine state for mechanical rollback verification:
+    a faulted apply must leave the machine with an empty
+    {!diff_snapshot}. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** [diff_snapshot t s] is a human-readable list of divergences between
+    the machine now and snapshot [s]; [[]] means byte-identical memory,
+    kallsyms, privileged ranges, thread state, tick, console, and shadow
+    bindings. *)
+val diff_snapshot : t -> snapshot -> string list

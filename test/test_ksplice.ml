@@ -336,9 +336,24 @@ let test_apply_non_quiescent_aborts () =
   let { Create.update; _ } = mk_update ~from:base_tree ~to_ () in
   let mgr = Apply.init m in
   match Apply.apply mgr update with
-  | Error (Apply.Not_quiescent fns) ->
+  | Error (Apply.Not_quiescent nq) ->
     Alcotest.(check bool) "names worker_loop" true
-      (List.exists (fun f -> fst (Update.split_canonical f) = "worker_loop") fns)
+      (List.exists
+         (fun f -> fst (Update.split_canonical f) = "worker_loop")
+         nq.Apply.nq_functions);
+    Alcotest.(check bool) "made several attempts" true (nq.nq_attempts >= 2);
+    Alcotest.(check bool) "identifies a blocking thread" true
+      (List.exists
+         (fun (who, _) ->
+           (* the spinning kworker thread *)
+           let needle = "kworker" in
+           let n = String.length needle in
+           let rec has i =
+             i + n <= String.length who
+             && (String.sub who i n = needle || has (i + 1))
+           in
+           has 0)
+         nq.nq_blockers)
   | Ok _ -> Alcotest.fail "expected Not_quiescent"
   | Error e -> Alcotest.failf "unexpected error: %a" Apply.pp_error e
 
