@@ -2,6 +2,14 @@
    evaluation (§6) against the synthetic corpus, then runs Bechamel
    micro-benchmarks for the performance claims (§2/§5.2).
 
+   Per-CVE corpus work (each CVE boots its own machine) fans out across
+   the {!Parallel} domain pool, and every run writes a machine-readable
+   perf baseline — BENCH.json: per-section wall-clock, Bechamel OLS
+   estimates, compile-cache and kallsyms-index hit rates, and the
+   serial-vs-parallel 64-CVE creation sweep. `--quick` runs a small
+   subset (< 30 s) for CI; `ksplice-tool bench-summary` pretty-prints
+   the file.
+
    Experiments (see DESIGN.md's index):
      F3 — Figure 3, patches by patch length
      T1 — Table 1, patches requiring custom code
@@ -10,6 +18,7 @@
      S2 — §6.3 inlining statistics
      X  — §6.3 exploit verification
      R  — §4.3 robustness across build modes
+     CS — creation sweep: serial vs domain-parallel update creation
      P  — Bechamel: apply pause, trampoline overhead, run-pre matching,
           update creation *)
 
@@ -24,18 +33,43 @@ module Update = Ksplice.Update
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* --- perf-baseline instrumentation --- *)
+
+let quick = ref false
+let out_path = ref "BENCH.json"
+let domains_flag = ref 0
+
+(* domain budget for the parallel legs: at least 2 so the pool machinery
+   is exercised even on a single-core host (where the speedup is ~1x) *)
+let par_domains () =
+  if !domains_flag > 0 then !domains_flag
+  else max 2 (Parallel.default_domains ())
+
+let now () = Unix.gettimeofday ()
+let section_times : (string * float) list ref = ref []
+let bech_estimates : (string * float) list ref = ref []
+
+(* (cves, serial wall s, parallel wall s, identical) *)
+let creation_result : (int * float * float * bool) option ref = ref None
+
+let timed name f =
+  let t0 = now () in
+  let r = f () in
+  section_times := (name, now () -. t0) :: !section_times;
+  r
+
 let base = Corpus.Base_kernel.tree ()
 
-let create_cve ?(hot = true) (cve : Corpus.Cve.t) =
+let create_cve ?(hot = true) ?domains (cve : Corpus.Cve.t) =
   let patch =
     if hot then Corpus.Cve.hot_patch cve base
     else Corpus.Cve.mainline_patch cve base
   in
-  Create.create
+  Create.create ?domains
     { source = base; patch; update_id = cve.id; description = cve.desc }
 
-let create_cve_exn cve =
-  match create_cve cve with
+let create_cve_exn ?domains cve =
+  match create_cve ?domains cve with
   | Ok c -> c
   | Error e ->
     Format.kasprintf failwith "%s: create failed: %a" cve.id Create.pp_error e
@@ -106,32 +140,42 @@ let table1 () =
 
 let headline () =
   section "Headline: applying all 64 security patches as hot updates";
+  (* each CVE boots its own machine, so the per-CVE work is independent
+     and fans out across the domain pool; the fold below is sequential *)
+  let results =
+    Parallel.map ~domains:(par_domains ())
+      (fun (cve : Corpus.Cve.t) ->
+        let c = create_cve_exn cve in
+        let b = Corpus.Boot.boot () in
+        let mgr = Apply.init b.machine in
+        match Apply.apply mgr c.update with
+        | Error e -> Error (Format.asprintf "%s: %a" cve.id Apply.pp_error e)
+        | Ok a ->
+          let stress = Corpus.Stress.run b ~threads:2 ~iterations:10 in
+          if not stress.ok then
+            Error (Printf.sprintf "%s: stress failed after apply" cve.id)
+          else
+            Ok
+              ( cve.custom = None,
+                a.pause_ns,
+                List.fold_left
+                  (fun acc (lo, hi) -> acc + hi - lo)
+                  0 a.module_ranges ))
+      Corpus.Cve.all
+  in
   let no_code_ok = ref 0 in
   let custom_ok = ref 0 in
   let failures = ref [] in
   let pauses = ref [] in
   let module_bytes = ref [] in
   List.iter
-    (fun (cve : Corpus.Cve.t) ->
-      let c = create_cve_exn cve in
-      let b = Corpus.Boot.boot () in
-      let mgr = Apply.init b.machine in
-      match Apply.apply mgr c.update with
-      | Error e ->
-        failures :=
-          Format.asprintf "%s: %a" cve.id Apply.pp_error e :: !failures
-      | Ok a ->
-        pauses := a.pause_ns :: !pauses;
-        module_bytes :=
-          List.fold_left (fun acc (lo, hi) -> acc + hi - lo) 0 a.module_ranges
-          :: !module_bytes;
-        let stress = Corpus.Stress.run b ~threads:2 ~iterations:10 in
-        if not stress.ok then
-          failures :=
-            Printf.sprintf "%s: stress failed after apply" cve.id :: !failures
-        else if cve.custom = None then incr no_code_ok
-        else incr custom_ok)
-    Corpus.Cve.all;
+    (function
+      | Error f -> failures := f :: !failures
+      | Ok (no_custom, pause, bytes) ->
+        pauses := pause :: !pauses;
+        module_bytes := bytes :: !module_bytes;
+        if no_custom then incr no_code_ok else incr custom_ok)
+    results;
   Printf.printf "applied without writing new code: %2d / 64  (paper: 56)\n"
     !no_code_ok;
   Printf.printf "applied with custom update code:  %2d      (paper:  8)\n"
@@ -262,23 +306,29 @@ let inline_stats () =
 let exploits () =
   section "Exploit verification (paper 6.3: works before, fails after)";
   Printf.printf "%-16s %-34s %-8s %-8s\n" "CVE ID" "exploit" "before" "after";
+  let rows =
+    Parallel.map ~domains:(par_domains ())
+      (fun (e : Corpus.Exploits.t) ->
+        let cve = Option.get (Corpus.Cve.find e.cve_id) in
+        let b1 = Corpus.Boot.boot () in
+        let before = (e.run b1).succeeded in
+        let b2 = Corpus.Boot.boot () in
+        let c = create_cve_exn cve in
+        let mgr = Apply.init b2.machine in
+        (match Apply.apply mgr c.update with
+         | Ok _ -> ()
+         | Error err ->
+           Format.kasprintf failwith "%s: apply: %a" cve.id Apply.pp_error err);
+        let after = (e.run b2).succeeded in
+        (e.cve_id, e.name, before, after))
+      Corpus.Exploits.all
+  in
   List.iter
-    (fun (e : Corpus.Exploits.t) ->
-      let cve = Option.get (Corpus.Cve.find e.cve_id) in
-      let b1 = Corpus.Boot.boot () in
-      let before = (e.run b1).succeeded in
-      let b2 = Corpus.Boot.boot () in
-      let c = create_cve_exn cve in
-      let mgr = Apply.init b2.machine in
-      (match Apply.apply mgr c.update with
-       | Ok _ -> ()
-       | Error err ->
-         Format.kasprintf failwith "%s: apply: %a" cve.id Apply.pp_error err);
-      let after = (e.run b2).succeeded in
-      Printf.printf "%-16s %-34s %-8s %-8s\n" e.cve_id e.name
+    (fun (cve_id, name, before, after) ->
+      Printf.printf "%-16s %-34s %-8s %-8s\n" cve_id name
         (if before then "works" else "FAILS")
         (if after then "WORKS" else "blocked"))
-    Corpus.Exploits.all
+    rows
 
 (* ---------- R: run-pre robustness across build modes ---------- *)
 
@@ -287,35 +337,40 @@ let runpre_robustness () =
   (* the run kernel is built without function sections (aligned loops,
      resolved intra-unit calls); every pre object is built with them; all
      64 updates must still match *)
-  let matched = ref 0 in
-  let total_sections = ref 0 in
-  List.iter
-    (fun (cve : Corpus.Cve.t) ->
-      let c = create_cve_exn cve in
-      let b = Corpus.Boot.boot () in
-      let mgr = Apply.init b.machine in
-      match Apply.apply mgr c.update with
-      | Ok _ ->
-        incr matched;
-        List.iter
-          (fun (h : Objfile.t) ->
-            total_sections :=
-              !total_sections
-              + List.length
-                  (List.filter
-                     (fun (s : Objfile.Section.t) ->
-                       s.kind = Objfile.Section.Text)
-                     h.sections))
-          c.update.helpers
-      | Error _ -> ())
-    Corpus.Cve.all;
+  let results =
+    Parallel.map ~domains:(par_domains ())
+      (fun (cve : Corpus.Cve.t) ->
+        let c = create_cve_exn cve in
+        let b = Corpus.Boot.boot () in
+        let mgr = Apply.init b.machine in
+        match Apply.apply mgr c.update with
+        | Ok _ ->
+          Some
+            (List.fold_left
+               (fun acc (h : Objfile.t) ->
+                 acc
+                 + List.length
+                     (List.filter
+                        (fun (s : Objfile.Section.t) ->
+                          s.kind = Objfile.Section.Text)
+                        h.sections))
+               0 c.update.helpers)
+        | Error _ -> None)
+      Corpus.Cve.all
+  in
+  let matched = List.length (List.filter Option.is_some results) in
+  let total_sections =
+    List.fold_left
+      (fun acc -> function Some n -> acc + n | None -> acc)
+      0 results
+  in
   Printf.printf
     "updates whose pre code (function-sections build) matched the running \
      kernel (distro-style build): %d / 64\n"
-    !matched;
+    matched;
   Printf.printf
     "pre text sections byte-matched against run memory in total: %d\n"
-    !total_sections
+    total_sections
 
 (* ---------- consequences (§6.1) ---------- *)
 
@@ -366,25 +421,32 @@ let baseline () =
   section
     "Source-level baseline (OPUS/LUCOS/DynAMOS-style) vs Ksplice (6.3)";
   let b = Corpus.Boot.boot () in
+  let per_cve =
+    Parallel.map ~domains:(par_domains ())
+      (fun (cve : Corpus.Cve.t) ->
+        let patch = Corpus.Cve.hot_patch cve base in
+        match
+          Ksplice.Source_level.evaluate ~source:base ~patch ~image:b.image
+        with
+        | Error m -> failwith (cve.id ^ ": baseline evaluation failed: " ^ m)
+        | Ok v -> (cve.id, v.failures))
+      Corpus.Cve.all
+  in
   let missed = ref 0 and inl = ref 0 and amb = ref 0 in
   let statics = ref 0 and asm = ref 0 in
   let unsafe = ref [] in
   List.iter
-    (fun (cve : Corpus.Cve.t) ->
-      let patch = Corpus.Cve.hot_patch cve base in
-      match Ksplice.Source_level.evaluate ~source:base ~patch ~image:b.image with
-      | Error m -> failwith (cve.id ^ ": baseline evaluation failed: " ^ m)
-      | Ok v ->
-        if v.failures <> [] then unsafe := cve.id :: !unsafe;
-        List.iter
-          (function
-            | Ksplice.Source_level.Missed_object_changes _ -> incr missed
-            | Ksplice.Source_level.Inline_sites_missed _ -> incr inl
-            | Ksplice.Source_level.Ambiguous_symbol _ -> incr amb
-            | Ksplice.Source_level.Static_local_lost _ -> incr statics
-            | Ksplice.Source_level.Assembly_file _ -> incr asm)
-          v.failures)
-    Corpus.Cve.all;
+    (fun (id, failures) ->
+      if failures <> [] then unsafe := id :: !unsafe;
+      List.iter
+        (function
+          | Ksplice.Source_level.Missed_object_changes _ -> incr missed
+          | Ksplice.Source_level.Inline_sites_missed _ -> incr inl
+          | Ksplice.Source_level.Ambiguous_symbol _ -> incr amb
+          | Ksplice.Source_level.Static_local_lost _ -> incr statics
+          | Ksplice.Source_level.Assembly_file _ -> incr asm)
+        failures)
+    per_cve;
   let n_unsafe = List.length !unsafe in
   Printf.printf "patches a source-level system handles safely: %2d / 64\n"
     (64 - n_unsafe);
@@ -405,27 +467,27 @@ let kernel_matrix () =
   List.iter
     (fun (v : Corpus.Versions.t) ->
       let apps = Corpus.Versions.applicable v in
-      let applied =
-        List.length
-          (List.filter
-             (fun (cve : Corpus.Cve.t) ->
-               match Corpus.Versions.hot_patch cve v with
-               | None -> false
-               | Some patch -> (
-                 match
-                   Create.create
-                     { source = v.tree; patch; update_id = cve.id;
-                       description = cve.desc }
-                 with
-                 | Error _ -> false
-                 | Ok { update; _ } -> (
-                   let b = Corpus.Boot.boot ~tree:v.tree () in
-                   let mgr = Apply.init b.machine in
-                   match Apply.apply mgr update with
-                   | Ok _ -> true
-                   | Error _ -> false)))
-             apps)
+      let applied_flags =
+        Parallel.map ~domains:(par_domains ())
+          (fun (cve : Corpus.Cve.t) ->
+            match Corpus.Versions.hot_patch cve v with
+            | None -> false
+            | Some patch -> (
+              match
+                Create.create
+                  { source = v.tree; patch; update_id = cve.id;
+                    description = cve.desc }
+              with
+              | Error _ -> false
+              | Ok { update; _ } -> (
+                let b = Corpus.Boot.boot ~tree:v.tree () in
+                let mgr = Apply.init b.machine in
+                match Apply.apply mgr update with
+                | Ok _ -> true
+                | Error _ -> false)))
+          apps
       in
+      let applied = List.length (List.filter Fun.id applied_flags) in
       Printf.printf "%-22s %12d %12d %12d\n" v.name
         (List.length v.incorporated)
         (List.length apps) applied)
@@ -448,7 +510,10 @@ let ablation () =
     | Error _ -> false
   in
   let count tolerance =
-    List.length (List.filter (attempt tolerance) Corpus.Cve.all)
+    List.length
+      (List.filter Fun.id
+         (Parallel.map ~domains:(par_domains ()) (attempt tolerance)
+            Corpus.Cve.all))
   in
   let full = Ksplice.Runpre.full_tolerance in
   Printf.printf "%-52s %2d / 64\n" "full matcher (nop skip + jump equivalence):"
@@ -470,14 +535,51 @@ let fault_sweep () =
   (* every CVE x every pipeline step: inject the step's canonical fault,
      require a byte-identical rollback, then a clean re-apply that still
      survives stress and blocks the CVE's exploit *)
-  let report = Corpus.Sweep.run ~seed:0 () in
+  let report = Corpus.Sweep.run ~seed:0 ~domains:(par_domains ()) () in
   print_string (Format.asprintf "%a" Corpus.Sweep.pp_matrix report);
   if not (Corpus.Sweep.ok report) then
     print_endline "*** SWEEP FAILED: rollback contract violated ***"
 
+(* ---------- CS: serial vs domain-parallel update creation ---------- *)
+
+let creation_sweep ?(cves = Corpus.Cve.all) () =
+  section "Creation sweep: update creation, serial vs domain-parallel";
+  let nd = par_domains () in
+  let serialize (c : Create.created) =
+    Bytes.to_string (Update.to_bytes c.update)
+  in
+  Kbuild.reset_cache ();
+  let t0 = now () in
+  let serial_ups =
+    List.map (fun cve -> serialize (create_cve_exn ~domains:1 cve)) cves
+  in
+  let serial_t = now () -. t0 in
+  Kbuild.reset_cache ();
+  let t0 = now () in
+  (* warm the shared pre build once so the concurrent creates hit the
+     compile cache instead of racing to rebuild the same units *)
+  ignore
+    (Kbuild.build_tree ~domains:nd ~options:Minic.Driver.pre_build base
+      : Kbuild.build);
+  let par_ups =
+    Parallel.map ~domains:nd
+      (fun cve -> serialize (create_cve_exn ~domains:nd cve))
+      cves
+  in
+  let par_t = now () -. t0 in
+  let identical = serial_ups = par_ups in
+  creation_result := Some (List.length cves, serial_t, par_t, identical);
+  Printf.printf "CVEs:                %d\n" (List.length cves);
+  Printf.printf "serial wall:         %8.3f s\n" serial_t;
+  Printf.printf "parallel wall:       %8.3f s  (%d domains)\n" par_t nd;
+  Printf.printf "speedup:             %8.2fx\n" (serial_t /. par_t);
+  Printf.printf "identical updates from both paths: %b\n" identical;
+  if not identical then
+    print_endline "*** PARALLEL CREATION DIVERGED FROM SERIAL ***"
+
 (* ---------- P: Bechamel timing ---------- *)
 
-let bechamel_benches () =
+let bechamel_benches ?(quick = false) () =
   section "Timing micro-benchmarks (Bechamel)";
   let open Bechamel in
   let open Toolkit in
@@ -502,10 +604,9 @@ let bechamel_benches () =
     Ksplice.Runpre.match_helper
       ~read_run:(fun a -> Machine.read_u8 b_plain.machine a)
       ~candidates:(fun name ->
-        Machine.kallsyms b_plain.machine
+        Machine.lookup_name b_plain.machine name
         |> List.filter_map (fun (s : Image.syminfo) ->
-             if String.equal s.name name && s.kind = `Func then Some s.addr
-             else None))
+             if s.kind = `Func then Some s.addr else None))
       ~already:(fun _ -> None)
       ~inference helper
   in
@@ -539,7 +640,7 @@ let bechamel_benches () =
   in
   (* matcher cost scales with the optimization unit: one synthetic unit
      per size, measured separately *)
-  let scaling_tests =
+  let scaling_tests () =
     let mk_unit n =
       let b = Buffer.create 1024 in
       for i = 0 to n - 1 do
@@ -568,19 +669,25 @@ let bechamel_benches () =
                  (Ksplice.Runpre.match_helper
                     ~read_run:(fun a -> Machine.read_u8 m a)
                     ~candidates:(fun name ->
-                      Machine.kallsyms m
+                      Machine.lookup_name m name
                       |> List.filter_map (fun (s : Image.syminfo) ->
-                           if String.equal s.name name && s.kind = `Func
-                           then Some s.addr
-                           else None))
+                           if s.kind = `Func then Some s.addr else None))
                     ~already:(fun _ -> None)
                     ~inference helper))))
       [ 4; 16; 64 ]
   in
-  let tests = tests @ scaling_tests in
+  let tests =
+    if quick then
+      (* the cheap probes only — creation and apply are already wall-
+         clocked by the sections, and --quick must stay under 30 s *)
+      List.filteri (fun i _ -> i < 3) tests
+    else tests @ scaling_tests ()
+  in
   let grouped = Test.make_grouped ~name:"ksplice" ~fmt:"%s %s" tests in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
+    if quick then
+      Benchmark.cfg ~limit:100 ~quota:(Time.second 0.1) ~stabilize:false ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
   let ols =
@@ -592,6 +699,7 @@ let bechamel_benches () =
     (fun (name, est) ->
       match Analyze.OLS.estimates est with
       | Some [ ns ] ->
+        bech_estimates := (name, ns) :: !bech_estimates;
         if ns > 1e6 then Printf.printf "%-46s %10.3f ms/run\n" name (ns /. 1e6)
         else if ns > 1e3 then
           Printf.printf "%-46s %10.3f us/run\n" name (ns /. 1e3)
@@ -604,21 +712,112 @@ let bechamel_benches () =
     "\ntrampoline cost at ISA level: 1 extra jmp instruction (5 bytes) per \
      call to a replaced function\n"
 
+(* ---------- BENCH.json emitter ---------- *)
+
+let emit_bench_json ~mode () =
+  let open Report.Json in
+  let cs = Kbuild.cache_stats () in
+  let is = Machine.kallsyms_index_stats () in
+  let num n = Num (float_of_int n) in
+  let rate hits total =
+    if total = 0 then Null else Num (float_of_int hits /. float_of_int total)
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "ksplice-bench/1");
+        ("mode", Str mode);
+        ("domains", num (par_domains ()));
+        ("available_domains", num (Parallel.available_domains ()));
+        ( "sections",
+          Arr
+            (List.rev_map
+               (fun (name, wall) ->
+                 Obj [ ("name", Str name); ("wall_s", Num wall) ])
+               !section_times) );
+        ( "bechamel",
+          Arr
+            (List.rev_map
+               (fun (name, ns) ->
+                 Obj [ ("name", Str name); ("ns_per_run", Num ns) ])
+               !bech_estimates) );
+        ( "kbuild_cache",
+          Obj
+            [
+              ("hits", num cs.hits);
+              ("misses", num cs.misses);
+              ("evictions", num cs.evictions);
+              ("entries", num cs.entries);
+              ("capacity", num cs.capacity);
+              ("hit_rate", rate cs.hits (cs.hits + cs.misses));
+            ] );
+        ( "kallsyms_index",
+          Obj
+            [
+              ("lookups", num is.lookups);
+              ("hits", num is.hits);
+              ("hit_rate", rate is.hits is.lookups);
+            ] );
+        ( "creation_sweep",
+          match !creation_result with
+          | None -> Null
+          | Some (cves, serial_t, par_t, identical) ->
+            Obj
+              [
+                ("cves", num cves);
+                ("serial_wall_s", Num serial_t);
+                ("parallel_wall_s", Num par_t);
+                ("speedup", Num (serial_t /. par_t));
+                ("identical", Bool identical);
+              ] );
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc (to_string doc);
+  close_out oc;
+  Printf.printf "\nperf baseline written to %s\n" !out_path
+
 let () =
+  let specs =
+    [
+      ("--quick", Arg.Set quick, " small subset for CI (finishes in < 30 s)");
+      ( "--out",
+        Arg.Set_string out_path,
+        "FILE perf-baseline JSON path (default BENCH.json)" );
+      ( "--domains",
+        Arg.Set_int domains_flag,
+        "N domain budget for the parallel legs (default: max 2 cores)" );
+    ]
+  in
+  Arg.parse (Arg.align specs)
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--quick] [--out FILE] [--domains N]";
   print_endline "Ksplice reproduction - evaluation benchmarks";
   print_endline "(paper: Arnold & Kaashoek, EuroSys 2009)";
-  figure3 ();
-  table1 ();
-  consequences ();
-  headline ();
-  symbol_stats ();
-  inline_stats ();
-  exploits ();
-  runpre_robustness ();
-  baseline ();
-  kernel_matrix ();
-  ablation ();
-  fault_sweep ();
-  appendix ();
-  bechamel_benches ();
+  if !quick then begin
+    let quick_cves = List.filteri (fun i _ -> i < 8) Corpus.Cve.all in
+    timed "figure3" figure3;
+    timed "table1" table1;
+    timed "consequences" consequences;
+    timed "creation_sweep" (fun () -> creation_sweep ~cves:quick_cves ());
+    timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
+  end
+  else begin
+    timed "figure3" figure3;
+    timed "table1" table1;
+    timed "consequences" consequences;
+    timed "headline" headline;
+    timed "symbol_stats" symbol_stats;
+    timed "inline_stats" inline_stats;
+    timed "exploits" exploits;
+    timed "runpre_robustness" runpre_robustness;
+    timed "baseline" baseline;
+    timed "kernel_matrix" kernel_matrix;
+    timed "ablation" ablation;
+    timed "fault_sweep" fault_sweep;
+    timed "creation_sweep" (fun () -> creation_sweep ());
+    timed "appendix" appendix;
+    timed "bechamel" (fun () -> bechamel_benches ())
+  end;
+  emit_bench_json ~mode:(if !quick then "quick" else "full") ();
   print_endline "\nAll experiments complete."

@@ -224,7 +224,90 @@ let cmd_demo cve_id =
         | None -> ());
        Printf.printf "\nDone.\n")
 
-let cmd_fault_sweep cve_ids seed =
+let cmd_bench_summary path =
+  let module J = Report.Json in
+  let text =
+    try read_file path
+    with Sys_error m ->
+      Printf.eprintf "error: %s (run `dune build @bench` or bench/main.exe)\n" m;
+      exit 1
+  in
+  match J.parse text with
+  | Error m ->
+    Printf.eprintf "error: %s: %s\n" path m;
+    exit 1
+  | Ok doc ->
+    let field obj k conv = Option.bind (J.member k obj) conv in
+    let str obj k = Option.value ~default:"?" (field obj k J.to_str) in
+    let istr obj k =
+      match field obj k J.to_int with
+      | Some n -> string_of_int n
+      | None -> "?"
+    in
+    let pct obj k =
+      match field obj k J.to_float with
+      | Some r -> Printf.sprintf "%.1f%%" (100.0 *. r)
+      | None -> "n/a"
+    in
+    Printf.printf "%s — %s run, %s domains (%s available)\n" (str doc "schema")
+      (str doc "mode") (istr doc "domains")
+      (istr doc "available_domains");
+    (match field doc "sections" J.to_list with
+     | None | Some [] -> ()
+     | Some sections ->
+       Printf.printf "\nsections (wall clock):\n";
+       List.iter
+         (fun s ->
+           match (field s "name" J.to_str, field s "wall_s" J.to_float) with
+           | Some name, Some w -> Printf.printf "  %-24s %9.3f s\n" name w
+           | _ -> ())
+         sections);
+    (match field doc "bechamel" J.to_list with
+     | None | Some [] -> ()
+     | Some rows ->
+       Printf.printf "\nmicro-benchmarks (Bechamel OLS):\n";
+       List.iter
+         (fun r ->
+           match (field r "name" J.to_str, field r "ns_per_run" J.to_float) with
+           | Some name, Some ns ->
+             if ns > 1e6 then
+               Printf.printf "  %-46s %10.3f ms/run\n" name (ns /. 1e6)
+             else if ns > 1e3 then
+               Printf.printf "  %-46s %10.3f us/run\n" name (ns /. 1e3)
+             else Printf.printf "  %-46s %10.1f ns/run\n" name ns
+           | _ -> ())
+         rows);
+    (match J.member "kbuild_cache" doc with
+     | None -> ()
+     | Some c ->
+       Printf.printf
+         "\nkbuild compile cache: %s hit rate (%s hits / %s misses, %s \
+          evictions, %s of %s entries used)\n"
+         (pct c "hit_rate") (istr c "hits") (istr c "misses")
+         (istr c "evictions") (istr c "entries") (istr c "capacity"));
+    (match J.member "kallsyms_index" doc with
+     | None -> ()
+     | Some i ->
+       Printf.printf "kallsyms name index:  %s hit rate (%s lookups)\n"
+         (pct i "hit_rate") (istr i "lookups"));
+    (match J.member "creation_sweep" doc with
+     | None | Some J.Null -> ()
+     | Some cs ->
+       let fstr k =
+         match field cs k J.to_float with
+         | Some f -> Printf.sprintf "%.3f" f
+         | None -> "?"
+       in
+       Printf.printf
+         "creation sweep:       %s CVEs — serial %s s, parallel %s s \
+          (%.2fx), identical=%s\n"
+         (istr cs "cves") (fstr "serial_wall_s") (fstr "parallel_wall_s")
+         (Option.value ~default:Float.nan (field cs "speedup" J.to_float))
+         (match J.member "identical" cs with
+          | Some (J.Bool b) -> string_of_bool b
+          | _ -> "?"))
+
+let cmd_fault_sweep cve_ids seed jobs =
   (* every cell intentionally aborts an apply; the per-abort warnings are
      noise here (use -v to see them) *)
   if Logs.level () = Some Logs.Warning then Logs.set_level (Some Logs.Error);
@@ -246,7 +329,7 @@ let cmd_fault_sweep cve_ids seed =
      seed %d...\n%!"
     (List.length cves) seed;
   let report =
-    Corpus.Sweep.run ~seed ~cves
+    Corpus.Sweep.run ~seed ~cves ?domains:jobs
       ~progress:(fun line -> Printf.printf "  %s\n%!" line)
       ()
   in
@@ -360,14 +443,35 @@ let fault_sweep_cmd =
       value & opt int 0
       & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Sweep up to $(docv) CVEs concurrently (default: one per core; \
+             1 forces a serial sweep).")
+  in
   Cmd.v
     (Cmd.info "fault-sweep"
        ~doc:
          "Inject a fault at every apply-pipeline step for each corpus CVE \
           and verify crash-consistent rollback, then clean re-apply")
     Term.(
-      const (fun v c s -> setup_logs v; cmd_fault_sweep c s)
-      $ verbose_t $ cves $ seed)
+      const (fun v c s j -> setup_logs v; cmd_fault_sweep c s j)
+      $ verbose_t $ cves $ seed $ jobs)
+
+let bench_summary_cmd =
+  let path =
+    Arg.(
+      value & pos 0 string "BENCH.json"
+      & info [] ~docv:"FILE"
+          ~doc:"Perf baseline written by bench/main.exe (--out).")
+  in
+  Cmd.v
+    (Cmd.info "bench-summary"
+       ~doc:"Pretty-print a BENCH.json perf baseline")
+    Term.(const cmd_bench_summary $ path)
 
 let () =
   let doc = "Ksplice reproduction: rebootless kernel updates" in
@@ -376,4 +480,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
-            demo_cmd; fault_sweep_cmd ]))
+            demo_cmd; fault_sweep_cmd; bench_summary_cmd ]))

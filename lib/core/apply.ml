@@ -119,16 +119,14 @@ let already_redirected t (unit_name, raw_fn) =
     Some (latest.r_new_addr, oldest.r_old_addr)
 
 let func_candidates t name =
-  Machine.kallsyms t.m
+  Machine.lookup_name t.m name
   |> List.filter_map (fun (s : Image.syminfo) ->
-       if String.equal s.name name && s.kind = `Func then Some s.addr
-       else None)
+       if s.kind = `Func then Some s.addr else None)
 
 let unique_global t name =
   match
-    Machine.kallsyms t.m
-    |> List.filter (fun (s : Image.syminfo) ->
-         String.equal s.name name && s.binding = Symbol.Global)
+    Machine.lookup_name t.m name
+    |> List.filter (fun (s : Image.syminfo) -> s.binding = Symbol.Global)
   with
   | [ s ] -> Some s.addr
   | _ -> None
@@ -197,9 +195,7 @@ let hook_syms (primary : Objfile.t) kind =
   List.concat_map
     (fun (s : Section.t) ->
       let matches =
-        String.length s.name >= String.length prefix
-        && String.sub s.name 0 (String.length prefix) = prefix
-        && s.kind = Section.Note
+        String.starts_with ~prefix s.name && s.kind = Section.Note
       in
       if matches then
         List.map (fun (r : Objfile.Reloc.t) -> r.sym) s.relocs
@@ -510,27 +506,19 @@ let undo ?(max_attempts = default_max_attempts)
           symbols are in kallsyms *)
        let resolve name =
          let raw, _ = Update.split_canonical name in
-         List.find_map
-           (fun (s : Image.syminfo) ->
-             (* prefer symbols this update added *)
-             if String.equal s.name raw
-                && List.exists
-                     (fun (a : Image.syminfo) -> a.addr = s.addr)
-                     top.added_symbols
-             then Some s.addr
-             else None)
-           (Machine.kallsyms t.m)
-         |> fun r ->
-         (match r with
-          | Some _ -> r
-          | None -> (
-            match
-              Machine.kallsyms t.m
-              |> List.filter (fun (s : Image.syminfo) ->
-                   String.equal s.name raw)
-            with
-            | [ s ] -> Some s.addr
-            | _ -> None))
+         let entries = Machine.lookup_name t.m raw in
+         (* prefer symbols this update added *)
+         match
+           List.find_opt
+             (fun (s : Image.syminfo) ->
+               List.exists
+                 (fun (a : Image.syminfo) -> a.addr = s.addr)
+                 top.added_symbols)
+             entries
+         with
+         | Some s -> Some s.addr
+         | None -> (
+           match entries with [ s ] -> Some s.addr | _ -> None)
        in
        Txn.with_tag txn Txn.Hook (fun () ->
            run_hooks t ~resolve top.update Ast.Hook_pre_reverse);

@@ -38,9 +38,6 @@ let is_source path =
 
 let empty_obj unit_name = Objfile.make ~unit_name ~sections:[] ~symbols:[]
 
-let starts_with p s =
-  String.length s >= String.length p && String.sub s 0 (String.length p) = p
-
 (* Sections of [post] to carry in the primary for one unit. *)
 let included_sections (post : Objfile.t) (d : Prepost.unit_diff) =
   List.filter
@@ -59,16 +56,29 @@ let included_sections (post : Objfile.t) (d : Prepost.unit_diff) =
         (* copies of read-only data are safe and keep the replacement
            code's string references working *)
         d.changed_functions <> [] || d.new_functions <> []
-      | Section.Note -> starts_with ".ksplice." s.name)
+      | Section.Note -> String.starts_with ~prefix:".ksplice." s.name)
     post.sections
 
-let create ?(build_options = Minic.Driver.pre_build) req =
+(* name -> binding of the first defined symbol bearing it, so [rename]
+   below is O(1) per relocation instead of a scan of the unit's symbols *)
+let binding_table (o : Objfile.t) =
+  let tbl = Hashtbl.create (List.length o.symbols) in
+  List.iter
+    (fun (sym : Symbol.t) ->
+      if Symbol.is_defined sym && not (Hashtbl.mem tbl sym.name) then
+        Hashtbl.add tbl sym.name sym.binding)
+    o.symbols;
+  tbl
+
+let create ?(build_options = Minic.Driver.pre_build) ?domains req =
   match Diff.apply req.patch req.source with
   | Error m -> Error (Patch_error m)
   | Ok post_tree -> (
     match
-      ( Kbuild.build_tree ~options:build_options req.source,
-        Kbuild.build_tree ~options:build_options post_tree )
+      (* pre before post, sequentially: the post build then recompiles
+         only patched units, everything else hits the compile cache *)
+      ( Kbuild.build_tree ?domains ~options:build_options req.source,
+        Kbuild.build_tree ?domains ~options:build_options post_tree )
     with
     | exception Kbuild.Build_error m -> Error (Build_error m)
     | pre_build, post_build ->
@@ -76,7 +86,7 @@ let create ?(build_options = Minic.Driver.pre_build) req =
         Diff.changed_files req.patch |> List.filter is_source
       in
       let diffs =
-        List.map
+        Parallel.map ?domains
           (fun unit_name ->
             let pre =
               match Kbuild.find_unit pre_build unit_name with
@@ -112,22 +122,19 @@ let create ?(build_options = Minic.Driver.pre_build) req =
               (* every local symbol of the unit is canonicalised, whether
                  its definition is included (it will be defined by the
                  primary) or not (run-pre inference will resolve it) *)
+              let bindings = binding_table post in
               let rename name =
                 let binding =
-                  match
-                    List.find_opt
-                      (fun (sym : Symbol.t) ->
-                        String.equal sym.name name && Symbol.is_defined sym)
-                      post.symbols
-                  with
-                  | Some sym -> sym.binding
+                  match Hashtbl.find_opt bindings name with
+                  | Some b -> b
                   | None -> Symbol.Global
                 in
                 Update.canonical ~binding ~unit_name name
               in
               List.iter
                 (fun (s : Section.t) ->
-                  if starts_with ".ksplice." s.name then has_hooks := true;
+                  if String.starts_with ~prefix:".ksplice." s.name then
+                    has_hooks := true;
                   let s' =
                     { s with
                       name = s.name ^ "@" ^ unit_name;

@@ -28,8 +28,15 @@ type created = {
   diffs : Prepost.unit_diff list;  (** per patched unit *)
 }
 
-(** [create ?build_options request] builds the update. [build_options]
-    defaults to {!Minic.Driver.pre_build} (function sections on — required
-    for the differencing to be per-function). *)
+(** [create ?build_options ?domains request] builds the update.
+    [build_options] defaults to {!Minic.Driver.pre_build} (function
+    sections on — required for the differencing to be per-function).
+    [domains] bounds the domain pool used for unit compilation and
+    pre/post differencing (default {!Parallel.default_domains}; [1]
+    forces a fully serial creation); parallel and serial creation
+    produce identical updates. *)
 val create :
-  ?build_options:Minic.Driver.options -> request -> (created, error) result
+  ?build_options:Minic.Driver.options ->
+  ?domains:int ->
+  request ->
+  (created, error) result

@@ -67,20 +67,28 @@ let trial_set t name v = Hashtbl.replace t.overlay name v
 let commit t =
   Hashtbl.iter (fun k v -> Hashtbl.replace t.committed k v) t.overlay
 
+(* name -> binding of the first defined symbol bearing it, precomputed
+   once per helper so canonicalising a referenced symbol is O(1) per
+   relocation instead of a scan of every helper symbol *)
+let binding_index (o : Objfile.t) =
+  let tbl = Hashtbl.create (List.length o.symbols) in
+  List.iter
+    (fun (s : Symbol.t) ->
+      if Symbol.is_defined s && not (Hashtbl.mem tbl s.name) then
+        Hashtbl.add tbl s.name s.binding)
+    o.symbols;
+  tbl
+
 (* canonical name of a symbol referenced from [helper] *)
-let canonical_ref (helper : Objfile.t) name =
+let canonical_ref ~bindings (helper : Objfile.t) name =
   let binding =
-    match
-      List.find_opt
-        (fun (s : Symbol.t) -> String.equal s.name name && Symbol.is_defined s)
-        helper.symbols
-    with
-    | Some s -> s.binding
+    match Hashtbl.find_opt bindings name with
+    | Some b -> b
     | None -> Symbol.Global (* undefined references are global *)
   in
   Update.canonical ~binding ~unit_name:helper.unit_name name
 
-let match_text ~tolerance ~read_run ~(helper : Objfile.t)
+let match_text ~tolerance ~read_run ~(helper : Objfile.t) ~bindings
     ~(section : Section.t) ~run_base ~(trial : trial) =
   let fail pre_off run_addr reason =
     raise
@@ -95,7 +103,7 @@ let match_text ~tolerance ~read_run ~(helper : Objfile.t)
     Hashtbl.find_opt tbl
   in
   let infer name value pre_off run_addr =
-    let cname = canonical_ref helper name in
+    let cname = canonical_ref ~bindings helper name in
     match trial_find trial cname with
     | Some v when v <> value ->
       fail pre_off run_addr
@@ -260,45 +268,48 @@ let text_sections (helper : Objfile.t) =
 
 let match_helper ?(tolerance = full_tolerance) ~read_run ~candidates
     ~already ~inference helper =
+  let bindings = binding_index helper in
   let pending = ref (text_sections helper) in
   let anchors = ref [] in
   let last_failure = ref None in
+  (* [sym_value addr] is what the function's symbol resolves to when
+     its code was located at [addr]: for a function already
+     redirected by an earlier update, the original entry; otherwise
+     the code address itself. *)
+  let candidate_addrs p =
+    match already (helper.unit_name, p.p_fname) with
+    | Some (code_addr, symbol_value) -> ([ code_addr ], fun _ -> symbol_value)
+    | None -> (
+      match Hashtbl.find_opt inference p.p_canonical with
+      | Some addr -> ([ addr ], fun a -> a)
+      | None -> (candidates p.p_fname, fun a -> a))
+  in
+  (* the single candidate-trial loop, shared by the progress rounds and
+     the failure-reporting epilogue so the two cannot drift: try every
+     candidate address against the section, recording the last genuine
+     code mismatch, and keep the trials that matched *)
+  let try_candidates p cands =
+    List.filter_map
+      (fun addr ->
+        let trial = { committed = inference; overlay = Hashtbl.create 16 } in
+        match
+          match_text ~tolerance ~read_run ~helper ~bindings
+            ~section:p.p_section ~run_base:addr ~trial
+        with
+        | () -> Some (addr, trial)
+        | exception Mismatch m ->
+          last_failure := Some m;
+          None)
+      (List.sort_uniq compare cands)
+  in
   let progress = ref true in
   while !pending <> [] && !progress do
     progress := false;
     let still = ref [] in
     List.iter
       (fun p ->
-        (* [sym_value addr] is what the function's symbol resolves to when
-           its code was located at [addr]: for a function already
-           redirected by an earlier update, the original entry; otherwise
-           the code address itself. *)
-        let cands, sym_value =
-          match already (helper.unit_name, p.p_fname) with
-          | Some (code_addr, symbol_value) ->
-            ([ code_addr ], fun _ -> symbol_value)
-          | None -> (
-            match Hashtbl.find_opt inference p.p_canonical with
-            | Some addr -> ([ addr ], fun a -> a)
-            | None -> (candidates p.p_fname, fun a -> a))
-        in
-        let successes =
-          List.filter_map
-            (fun addr ->
-              let trial =
-                { committed = inference; overlay = Hashtbl.create 16 }
-              in
-              match
-                match_text ~tolerance ~read_run ~helper ~section:p.p_section
-                  ~run_base:addr ~trial
-              with
-              | () -> Some (addr, trial)
-              | exception Mismatch m ->
-                last_failure := Some m;
-                None)
-            (List.sort_uniq compare cands)
-        in
-        match successes with
+        let cands, sym_value = candidate_addrs p in
+        match try_candidates p cands with
         | [ (addr, trial) ] ->
           commit trial;
           Hashtbl.replace inference p.p_canonical (sym_value addr);
@@ -312,26 +323,8 @@ let match_helper ?(tolerance = full_tolerance) ~read_run ~candidates
   (match !pending with
    | [] -> ()
    | p :: _ ->
-     let cands =
-       match already (helper.unit_name, p.p_fname) with
-       | Some (code_addr, _) -> [ code_addr ]
-       | None -> (
-         match Hashtbl.find_opt inference p.p_canonical with
-         | Some addr -> [ addr ]
-         | None -> candidates p.p_fname)
-     in
-     let successes =
-       List.filter
-         (fun addr ->
-           let trial = { committed = inference; overlay = Hashtbl.create 16 } in
-           try
-             match_text ~tolerance ~read_run ~helper ~section:p.p_section ~run_base:addr
-               ~trial;
-             true
-           with Mismatch _ -> false)
-         (List.sort_uniq compare cands)
-     in
-     match successes with
+     let cands, _ = candidate_addrs p in
+     match try_candidates p cands with
      | [] -> (
        (* surface the underlying code mismatch when there was a single
           candidate — that is the §4.2 safety abort *)

@@ -152,23 +152,32 @@ let summarize rows =
       List.length (List.filter (fun r -> not r.recovered) rows);
   }
 
-let run ?(seed = 0) ?cves ?progress () =
+let run ?(seed = 0) ?cves ?progress ?domains () =
   let cves = Option.value cves ~default:Cve.all in
   let base = Base_kernel.tree () in
+  (* each CVE sweeps on its own freshly booted machine, so rows are
+     independent and sweep across the domain pool; progress lines arrive
+     in completion order (serialised by a mutex), rows in corpus order *)
+  let progress_m = Mutex.create () in
+  let emit line =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_m;
+      f line;
+      Mutex.unlock progress_m
+  in
   let rows =
-    List.mapi
-      (fun i cve ->
+    Parallel.map ?domains
+      (fun (i, cve) ->
         let row = sweep_cve ~seed i cve base in
-        (match progress with
-         | None -> ()
-         | Some f ->
-           f
-             (Printf.sprintf "%-14s %s %s" row.cve_id
-                (String.init (List.length row.cells) (fun j ->
-                     cell_char (snd (List.nth row.cells j))))
-                (if row.recovered then "recovered" else "RECOVERY FAILED")));
+        emit
+          (Printf.sprintf "%-14s %s %s" row.cve_id
+             (String.init (List.length row.cells) (fun j ->
+                  cell_char (snd (List.nth row.cells j))))
+             (if row.recovered then "recovered" else "RECOVERY FAILED"));
         row)
-      cves
+      (List.mapi (fun i cve -> (i, cve)) cves)
   in
   summarize rows
 

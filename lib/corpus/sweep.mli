@@ -43,12 +43,18 @@ type report = {
   recovery_failures : int;
 }
 
-(** [run ?seed ?cves ?progress ()] sweeps [cves] (default: all 64).
-    [progress] (if given) receives one line per CVE as it completes. *)
+(** [run ?seed ?cves ?progress ?domains ()] sweeps [cves] (default: all
+    64). Each CVE runs on its own freshly booted machine; rows are
+    independent, so the sweep fans out across up to [domains] domains
+    (default {!Parallel.default_domains}; [1] forces a serial sweep).
+    [progress] (if given) receives one line per CVE as it completes —
+    in completion order, which under parallelism need not be corpus
+    order; the returned [rows] always are. *)
 val run :
   ?seed:int ->
   ?cves:Cve.t list ->
   ?progress:(string -> unit) ->
+  ?domains:int ->
   unit ->
   report
 

@@ -14,28 +14,105 @@ exception Build_error of string
 let err fmt = Format.kasprintf (fun m -> raise (Build_error m)) fmt
 
 (* Content-addressed compile cache: (digest(source), options fingerprint)
-   -> compiled unit. Makes the post build recompile only patched units. *)
-let cache : (string, unit_build) Hashtbl.t = Hashtbl.create 64
+   -> compiled unit. Makes the post build recompile only patched units,
+   and shares the pre build across every update created in one process.
+
+   The table is mutex-guarded (parallel [build_tree] compiles units on
+   several domains) and bounded: least-recently-used entries are evicted
+   once [cache_capacity] is exceeded, so unrelated builds cannot grow it
+   without limit. Compilation itself happens outside the lock; when two
+   domains race to compile the same key, the first insertion wins and
+   both callers share one physical artifact. *)
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+type centry = {
+  cu : unit_build;
+  mutable last_used : int;
+}
+
+let cache : (string, centry) Hashtbl.t = Hashtbl.create 256
+let cache_m = Mutex.create ()
+let cache_clock = ref 0
+let cache_capacity = ref 1024
+let c_hits = ref 0
+let c_misses = ref 0
+let c_evictions = ref 0
+
+let evict_locked () =
+  while Hashtbl.length cache > !cache_capacity do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.last_used -> acc
+          | _ -> Some (k, e.last_used))
+        cache None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove cache k;
+      incr c_evictions
+    | None -> ()
+  done
+
+let set_cache_capacity n =
+  Mutex.lock cache_m;
+  cache_capacity := max 1 n;
+  evict_locked ();
+  Mutex.unlock cache_m
+
+let cache_stats () =
+  Mutex.lock cache_m;
+  let s =
+    { hits = !c_hits; misses = !c_misses; evictions = !c_evictions;
+      entries = Hashtbl.length cache; capacity = !cache_capacity }
+  in
+  Mutex.unlock cache_m;
+  s
+
+let reset_cache () =
+  Mutex.lock cache_m;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_m
 
 let options_fingerprint (o : Minic.Driver.options) =
   Printf.sprintf "fs=%b;al=%b;inl=%b;%d;%d" o.codegen.function_sections
     o.codegen.align_loops o.inline_enabled o.auto_inline_max
     o.explicit_inline_max
 
-let has_suffix s suf =
-  let n = String.length s and m = String.length suf in
-  n >= m && String.sub s (n - m) m = suf
-
 let compile_one ~options path contents =
   let key =
     Digest.to_hex (Digest.string contents)
     ^ "|" ^ path ^ "|" ^ options_fingerprint options
   in
-  match Hashtbl.find_opt cache key with
+  let cached =
+    Mutex.lock cache_m;
+    let r =
+      match Hashtbl.find_opt cache key with
+      | Some e ->
+        incr c_hits;
+        incr cache_clock;
+        e.last_used <- !cache_clock;
+        Some e.cu
+      | None ->
+        incr c_misses;
+        None
+    in
+    Mutex.unlock cache_m;
+    r
+  in
+  match cached with
   | Some u -> u
   | None ->
     let u =
-      if has_suffix path ".c" then begin
+      if String.ends_with ~suffix:".c" path then begin
         match Minic.Driver.compile ~options ~unit_name:path contents with
         | { obj; inline_decisions } ->
           { source_name = path; obj; inline_decisions }
@@ -51,15 +128,36 @@ let compile_one ~options path contents =
           err "%s:%d: %s" path line msg
       end
     in
-    Hashtbl.replace cache key u;
+    Mutex.lock cache_m;
+    let u =
+      match Hashtbl.find_opt cache key with
+      | Some e ->
+        (* lost a compile race: keep the winner so all builds share one
+           physical artifact per key *)
+        incr cache_clock;
+        e.last_used <- !cache_clock;
+        e.cu
+      | None ->
+        incr cache_clock;
+        Hashtbl.replace cache key { cu = u; last_used = !cache_clock };
+        evict_locked ();
+        u
+    in
+    Mutex.unlock cache_m;
     u
 
-let build_tree ~options tree =
-  let units =
+let is_source path =
+  String.ends_with ~suffix:".c" path || String.ends_with ~suffix:".s" path
+
+let build_tree ?domains ~options tree =
+  let sources =
     Patchfmt.Source_tree.bindings tree
-    |> List.filter (fun (path, _) ->
-         has_suffix path ".c" || has_suffix path ".s")
-    |> List.map (fun (path, contents) -> compile_one ~options path contents)
+    |> List.filter (fun (path, _) -> is_source path)
+  in
+  let units =
+    Parallel.map ?domains
+      (fun (path, contents) -> compile_one ~options path contents)
+      sources
   in
   { units; options }
 

@@ -5,7 +5,13 @@
     byte-identical objects — which is the property that lets Ksplice's
     pre build reproduce the running kernel's code (§4.3: using the same
     compiler and options "is advisable"). A content-addressed cache makes
-    the post build recompile only units the patch touched, like kbuild. *)
+    the post build recompile only units the patch touched, like kbuild.
+
+    Units compile concurrently on a domain pool ({!Parallel}); per-unit
+    compilation is independent, so a parallel build produces exactly the
+    objects (and inline decisions) of a sequential one, in path order.
+    The cache is mutex-guarded, shared across builds in one process, and
+    bounded by an LRU policy (see {!set_cache_capacity}). *)
 
 type unit_build = {
   source_name : string;  (** e.g. ["kernel/sched.c"] *)
@@ -20,9 +26,14 @@ type build = {
 
 exception Build_error of string
 
-(** [build_tree ~options tree] compiles every [.c] and [.s] file of the
-    tree, in path order. @raise Build_error naming the failing unit. *)
-val build_tree : options:Minic.Driver.options -> Patchfmt.Source_tree.t -> build
+(** [build_tree ?domains ~options tree] compiles every [.c] and [.s] file
+    of the tree, in path order, using up to [domains] domains (default
+    {!Parallel.default_domains}; [1] forces a fully sequential build).
+    @raise Build_error naming the failing unit — deterministically the
+    first failing unit in path order, regardless of scheduling. *)
+val build_tree :
+  ?domains:int -> options:Minic.Driver.options -> Patchfmt.Source_tree.t ->
+  build
 
 (** [objects b] lists the object files in build order. *)
 val objects : build -> Objfile.t list
@@ -34,3 +45,25 @@ val find_unit : build -> string -> unit_build option
     were inlined into it, per unit: [(unit, caller, callee)] triples.
     Feeds the §6.3 inlining statistics and the pre-post safety story. *)
 val inlined_callees : build -> (string * string * string) list
+
+(** {2 Compile cache} *)
+
+type cache_stats = {
+  hits : int;  (** lookups served from the cache (cumulative) *)
+  misses : int;  (** lookups that had to compile (cumulative) *)
+  evictions : int;  (** entries dropped by the LRU bound (cumulative) *)
+  entries : int;  (** entries resident now *)
+  capacity : int;  (** maximum resident entries *)
+}
+
+val cache_stats : unit -> cache_stats
+
+(** [set_cache_capacity n] bounds the cache to [max 1 n] entries,
+    evicting least-recently-used entries immediately if over. The default
+    capacity is 1024. *)
+val set_cache_capacity : int -> unit
+
+(** [reset_cache ()] drops every cached unit (counters are kept — they
+    are cumulative process-level statistics). Used to benchmark cold
+    builds and to stop unrelated builds leaking into each other. *)
+val reset_cache : unit -> unit

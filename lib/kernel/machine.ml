@@ -42,6 +42,11 @@ type t = {
   mem_size : int;
   img : Klink.Image.t;
   mutable syms : Klink.Image.syminfo list;
+  (* name -> kallsyms entries bearing it, in [syms] order; maintained
+     incrementally by add/remove so per-name lookup is O(1) instead of a
+     linear scan of every kernel symbol (run-pre candidate search and
+     symbol resolution are the hot consumers) *)
+  sym_index : (string, Klink.Image.syminfo list) Hashtbl.t;
   mutable priv : (int * int) list;
   mutable threads_rev : thread list;
   mutable next_tid : int;
@@ -70,6 +75,31 @@ type t = {
 exception Vm_fault of fault
 exception Out_of_memory of string
 
+(* --- kallsyms name index --- *)
+
+(* process-wide lookup counters (machines may live on several domains) *)
+let idx_lookups = Atomic.make 0
+let idx_hits = Atomic.make 0
+
+type index_stats = {
+  lookups : int;
+  hits : int;
+}
+
+let kallsyms_index_stats () =
+  { lookups = Atomic.get idx_lookups; hits = Atomic.get idx_hits }
+
+let index_add tbl syms =
+  List.iter
+    (fun (s : Klink.Image.syminfo) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl s.name) in
+      Hashtbl.replace tbl s.name (cur @ [ s ]))
+    syms
+
+let index_rebuild tbl syms =
+  Hashtbl.reset tbl;
+  index_add tbl syms
+
 let quantum = 64
 let stack_size = 64 * 1024
 let stack_guard = 4096
@@ -93,6 +123,10 @@ let create ?(mem_size = 0x0200_0000) (img : Klink.Image.t) =
       mem_size;
       img;
       syms = img.kallsyms;
+      sym_index =
+        (let tbl = Hashtbl.create (List.length img.kallsyms) in
+         index_add tbl img.kallsyms;
+         tbl);
       priv = [ img.text_range ];
       threads_rev = [];
       next_tid = 1;
@@ -122,10 +156,27 @@ let image t = t.img
 let tick t = t.tick_count
 let console t = Buffer.contents t.console_buf
 let kallsyms t = t.syms
-let add_kallsyms t more = t.syms <- t.syms @ more
+
+let add_kallsyms t more =
+  t.syms <- t.syms @ more;
+  index_add t.sym_index more
 
 let remove_kallsyms t pred =
-  t.syms <- List.filter (fun s -> not (pred s)) t.syms
+  t.syms <- List.filter (fun s -> not (pred s)) t.syms;
+  Hashtbl.filter_map_inplace
+    (fun _name entries ->
+      match List.filter (fun s -> not (pred s)) entries with
+      | [] -> None
+      | kept -> Some kept)
+    t.sym_index
+
+let lookup_name t name =
+  Atomic.incr idx_lookups;
+  match Hashtbl.find_opt t.sym_index name with
+  | Some entries ->
+    Atomic.incr idx_hits;
+    entries
+  | None -> []
 let privileged_ranges t = t.priv
 let add_privileged_range t r = t.priv <- r :: t.priv
 
@@ -696,6 +747,7 @@ let save_volatile t =
 
 let restore_volatile t v =
   t.syms <- v.v_syms;
+  index_rebuild t.sym_index v.v_syms;
   t.priv <- v.v_priv;
   List.iter
     (fun s ->

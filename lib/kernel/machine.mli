@@ -58,6 +58,23 @@ val add_kallsyms : t -> Klink.Image.syminfo list -> unit
     module is unloaded). *)
 val remove_kallsyms : t -> (Klink.Image.syminfo -> bool) -> unit
 
+(** [lookup_name t name] returns every kallsyms entry named [name], in
+    {!kallsyms} order, via a [name -> entries] hash index maintained
+    incrementally by {!add_kallsyms}/{!remove_kallsyms} — O(1) per
+    lookup where filtering {!kallsyms} is O(symbols). Invariant (checked
+    by the test suite): for every [name],
+    [lookup_name t name = List.filter (fun s -> s.name = name) (kallsyms t)]. *)
+val lookup_name : t -> string -> Klink.Image.syminfo list
+
+(** Cumulative process-wide {!lookup_name} counters ([hits] are lookups
+    that found at least one entry); feeds the BENCH.json index hit rate. *)
+type index_stats = {
+  lookups : int;
+  hits : int;
+}
+
+val kallsyms_index_stats : unit -> index_stats
+
 (** [privileged_ranges t] are [start, end_) code ranges allowed to use
     privileged escapes: kernel text plus registered module text. *)
 val privileged_ranges : t -> (int * int) list

@@ -1,0 +1,28 @@
+(** Minimal JSON tree, writer, and parser — enough for the BENCH.json
+    perf baseline (written by [bench/main.ml], read by
+    [ksplice-tool bench-summary]) without an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Pretty-printed (2-space indent) UTF-8 JSON text with a trailing
+    newline. Numbers that are integral print without a fraction part. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document; [Error msg] names the offending
+    offset. Accepts exactly what {!to_string} emits plus ordinary
+    whitespace, escapes, and scientific-notation numbers. *)
+val parse : string -> (t, string) result
+
+(** {2 Accessors} — all total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

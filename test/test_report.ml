@@ -1,0 +1,94 @@
+(* Writer/parser roundtrip for the BENCH.json perf baseline format. *)
+
+module Json = Report.Json
+
+let t name f = Alcotest.test_case name `Quick f
+let q = QCheck_alcotest.to_alcotest
+
+let sample =
+  Json.Obj
+    [
+      ("schema", Json.Str "ksplice-bench/1");
+      ("ok", Json.Bool true);
+      ("nothing", Json.Null);
+      ("n", Json.Num 42.);
+      ("rate", Json.Num 0.875);
+      ("empty_arr", Json.Arr []);
+      ("empty_obj", Json.Obj []);
+      ( "rows",
+        Json.Arr
+          [
+            Json.Obj
+              [ ("name", Json.Str "a b\n\"c\"\\d"); ("wall_s", Json.Num 1.5) ];
+          ] );
+    ]
+
+let test_roundtrip () =
+  match Json.parse (Json.to_string sample) with
+  | Ok v -> Alcotest.(check bool) "roundtrip" true (v = sample)
+  | Error m -> Alcotest.fail m
+
+let test_accessors () =
+  let get k = Json.member k sample in
+  Alcotest.(check (option string))
+    "member/to_str" (Some "ksplice-bench/1")
+    (Option.bind (get "schema") Json.to_str);
+  Alcotest.(check (option int)) "to_int" (Some 42)
+    (Option.bind (get "n") Json.to_int);
+  Alcotest.(check (option int))
+    "to_int rejects fractions" None
+    (Option.bind (get "rate") Json.to_int);
+  Alcotest.(check bool) "to_list" true
+    (Option.bind (get "rows") Json.to_list <> None);
+  Alcotest.(check bool) "missing member" true (get "absent" = None)
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "{}x" ]
+
+let gen_json =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun i -> Json.Num (float_of_int i)) small_signed_int;
+            map (fun s -> Json.Str s) (string_size (int_bound 8));
+          ]
+      in
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            ( 1,
+              map
+                (fun l -> Json.Arr l)
+                (list_size (int_bound 4) (self (n / 2))) );
+            ( 1,
+              map
+                (fun l -> Json.Obj l)
+                (list_size (int_bound 4)
+                   (pair (string_size (int_bound 6)) (self (n / 2)))) );
+          ])
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"to_string/parse roundtrip" ~count:200 gen_json
+    (fun v -> Json.parse (Json.to_string v) = Ok v)
+
+let suite =
+  [
+    ( "report json",
+      [
+        t "sample roundtrip" test_roundtrip;
+        t "accessors" test_accessors;
+        t "parse errors" test_parse_errors;
+        q prop_roundtrip;
+      ] );
+  ]
