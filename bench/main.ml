@@ -540,6 +540,21 @@ let fault_sweep () =
   if not (Corpus.Sweep.ok report) then
     print_endline "*** SWEEP FAILED: rollback contract violated ***"
 
+(* ---------- MS: supervised manager sweep ---------- *)
+
+let manager_result = ref None
+
+let manager_sweep ?cves () =
+  section
+    "Supervised manager sweep: watchdog, retry queue, health-gated revert";
+  let r =
+    Corpus.Sweep.run_manager ~seed:0 ?cves ~domains:(par_domains ()) ()
+  in
+  print_string (Format.asprintf "%a" Corpus.Sweep.pp_manager r);
+  manager_result := Some r;
+  if not (Corpus.Sweep.manager_ok r) then
+    print_endline "*** MANAGER SWEEP FAILED: supervision contract violated ***"
+
 (* ---------- CS: serial vs domain-parallel update creation ---------- *)
 
 let creation_sweep ?(cves = Corpus.Cve.all) () =
@@ -758,6 +773,19 @@ let emit_bench_json ~mode () =
               ("hits", num is.hits);
               ("hit_rate", rate is.hits is.lookups);
             ] );
+        ( "manager_sweep",
+          match !manager_result with
+          | None -> Null
+          | Some (r : Corpus.Sweep.mreport) ->
+            Obj
+              [
+                ("cells", num r.m_cells_total);
+                ("healthy", num r.m_healthy);
+                ("parked", num r.m_parked);
+                ("quarantined", num r.m_quarantined);
+                ("violations", num r.m_violations);
+                ("failures", num r.m_failures);
+              ] );
         ( "creation_sweep",
           match !creation_result with
           | None -> Null
@@ -800,6 +828,8 @@ let () =
     timed "table1" table1;
     timed "consequences" consequences;
     timed "creation_sweep" (fun () -> creation_sweep ~cves:quick_cves ());
+    timed "manager_sweep" (fun () ->
+        manager_sweep ~cves:(List.filteri (fun i _ -> i < 4) quick_cves) ());
     timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
   end
   else begin
@@ -815,6 +845,7 @@ let () =
     timed "kernel_matrix" kernel_matrix;
     timed "ablation" ablation;
     timed "fault_sweep" fault_sweep;
+    timed "manager_sweep" (fun () -> manager_sweep ());
     timed "creation_sweep" (fun () -> creation_sweep ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())

@@ -224,19 +224,22 @@ let cmd_demo cve_id =
         | None -> ());
        Printf.printf "\nDone.\n")
 
+(* Load a JSON report or die with a message naming the file and the
+   producer to rerun — a missing or half-written report must be an
+   ordinary error, not a backtrace. *)
+let load_json_or_die ~producer path =
+  match Report.Json.of_file path with
+  | Ok doc -> doc
+  | Error m ->
+    Printf.eprintf "error: %s (regenerate with %s)\n" m producer;
+    exit 1
+
 let cmd_bench_summary path =
   let module J = Report.Json in
-  let text =
-    try read_file path
-    with Sys_error m ->
-      Printf.eprintf "error: %s (run `dune build @bench` or bench/main.exe)\n" m;
-      exit 1
-  in
-  match J.parse text with
-  | Error m ->
-    Printf.eprintf "error: %s: %s\n" path m;
-    exit 1
-  | Ok doc ->
+  match
+    load_json_or_die ~producer:"`dune build @bench` or bench/main.exe" path
+  with
+  | doc ->
     let field obj k conv = Option.bind (J.member k obj) conv in
     let str obj k = Option.value ~default:"?" (field obj k J.to_str) in
     let istr obj k =
@@ -336,6 +339,171 @@ let cmd_fault_sweep cve_ids seed jobs =
   print_newline ();
   Format.printf "%a@." Corpus.Sweep.pp_matrix report;
   if not (Corpus.Sweep.ok report) then exit 1
+
+(* --- the supervised sweep: manager-run / manager-report --- *)
+
+let resolve_cves = function
+  | [] -> Corpus.Cve.all
+  | ids ->
+    List.map
+      (fun id ->
+        match Corpus.Cve.find id with
+        | Some c -> c
+        | None ->
+          Printf.eprintf "error: unknown CVE %s (try list-cves)\n" id;
+          exit 1)
+      ids
+
+let resolve_scenarios = function
+  | [] -> Corpus.Sweep.all_scenarios
+  | names ->
+    List.map
+      (fun n ->
+        match
+          List.find_opt
+            (fun s -> String.equal (Corpus.Sweep.scenario_name s) n)
+            Corpus.Sweep.all_scenarios
+        with
+        | Some s -> s
+        | None ->
+          Printf.eprintf
+            "error: unknown scenario %s (injected, adversarial, unhealthy)\n"
+            n;
+          exit 1)
+      names
+
+let manager_sweep_json ~seed (r : Corpus.Sweep.mreport) =
+  let module J = Report.Json in
+  let num n = J.Num (float_of_int n) in
+  J.Obj
+    [
+      ("schema", J.Str "ksplice-manager-sweep/1");
+      ("seed", num seed);
+      ("cells", num r.m_cells_total);
+      ("healthy", num r.m_healthy);
+      ("parked", num r.m_parked);
+      ("quarantined", num r.m_quarantined);
+      ("violations", num r.m_violations);
+      ("failures", num r.m_failures);
+      ( "rows",
+        J.Arr
+          (List.map
+             (fun (row : Corpus.Sweep.mrow) ->
+               J.Obj
+                 [
+                   ("cve", J.Str row.m_cve);
+                   ( "cells",
+                     J.Arr
+                       (List.map
+                          (fun (sc, (c : Corpus.Sweep.mcell)) ->
+                            J.Obj
+                              [
+                                ( "scenario",
+                                  J.Str (Corpus.Sweep.scenario_name sc) );
+                                ( "status",
+                                  J.Str (Manager.status_name c.mc_status) );
+                                ("attempts", num c.mc_attempts);
+                                ("clock", num c.mc_clock);
+                                ("events", num c.mc_events);
+                                ("violations", num c.mc_violations);
+                                ( "notes",
+                                  J.Arr
+                                    (List.map (fun n -> J.Str n) c.mc_notes)
+                                );
+                                ("manager", c.mc_report);
+                              ])
+                          row.m_cells) );
+                 ])
+             r.m_rows) );
+    ]
+
+let cmd_manager_run cve_ids scenario_names seed jobs out =
+  if Logs.level () = Some Logs.Warning then Logs.set_level (Some Logs.Error);
+  let cves = resolve_cves cve_ids in
+  let scenarios = resolve_scenarios scenario_names in
+  Printf.printf
+    "supervising %d CVE(s) x {%s}, seed %d...\n%!" (List.length cves)
+    (String.concat ", " (List.map Corpus.Sweep.scenario_name scenarios))
+    seed;
+  let report =
+    Corpus.Sweep.run_manager ~seed ~cves ~scenarios ?domains:jobs
+      ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+      ()
+  in
+  print_newline ();
+  Format.printf "%a@." Corpus.Sweep.pp_manager report;
+  (match out with
+   | None -> ()
+   | Some path -> (
+     match Report.Json.to_file path (manager_sweep_json ~seed report) with
+     | Ok () -> Printf.printf "event log written to %s\n" path
+     | Error m ->
+       Printf.eprintf "error: cannot write %s: %s\n" path m;
+       exit 1));
+  if not (Corpus.Sweep.manager_ok report) then exit 1
+
+let cmd_manager_report path =
+  let module J = Report.Json in
+  let doc =
+    load_json_or_die ~producer:"ksplice-tool manager-run --out" path
+  in
+  let field obj k conv = Option.bind (J.member k obj) conv in
+  (match field doc "schema" J.to_str with
+   | Some "ksplice-manager-sweep/1" -> ()
+   | Some other ->
+     Printf.eprintf "error: %s: unexpected schema %s\n" path other;
+     exit 1
+   | None ->
+     Printf.eprintf "error: %s: not a manager sweep report (no schema)\n"
+       path;
+     exit 1);
+  let istr k =
+    match field doc k J.to_int with Some n -> string_of_int n | None -> "?"
+  in
+  Printf.printf
+    "manager sweep (seed %s): %s cells — %s healthy, %s parked, %s \
+     quarantined; %s audit violations, %s contract failures\n"
+    (istr "seed") (istr "cells") (istr "healthy") (istr "parked")
+    (istr "quarantined") (istr "violations") (istr "failures");
+  (match field doc "rows" J.to_list with
+   | None ->
+     Printf.eprintf "error: %s: no rows\n" path;
+     exit 1
+   | Some rows ->
+     List.iter
+       (fun row ->
+         let cve =
+           Option.value ~default:"?" (field row "cve" J.to_str)
+         in
+         let cells = Option.value ~default:[] (field row "cells" J.to_list) in
+         Printf.printf "  %-16s %s\n" cve
+           (String.concat "  "
+              (List.map
+                 (fun c ->
+                   Printf.sprintf "%s:%s a=%s"
+                     (Option.value ~default:"?"
+                        (field c "scenario" J.to_str))
+                     (Option.value ~default:"?" (field c "status" J.to_str))
+                     (match field c "attempts" J.to_int with
+                      | Some n -> string_of_int n
+                      | None -> "?"))
+                 cells));
+         List.iter
+           (fun c ->
+             match field c "notes" J.to_list with
+             | Some (_ :: _ as notes) ->
+               List.iter
+                 (fun n ->
+                   match J.to_str n with
+                   | Some s -> Printf.printf "    FAILURE: %s\n" s
+                   | None -> ())
+                 notes
+             | _ -> ())
+           cells)
+       rows);
+  match (field doc "violations" J.to_int, field doc "failures" J.to_int) with
+  | Some 0, Some 0 -> ()
+  | _ -> exit 1
 
 (* --- cmdliner wiring --- *)
 
@@ -461,6 +629,69 @@ let fault_sweep_cmd =
       const (fun v c s j -> setup_logs v; cmd_fault_sweep c s j)
       $ verbose_t $ cves $ seed $ jobs)
 
+let manager_run_cmd =
+  let cves =
+    Arg.(
+      value & opt_all string []
+      & info [ "cve" ] ~docv:"ID"
+          ~doc:"Supervise only this CVE (repeatable; default: all 64).")
+  in
+  let scenarios =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Run only this scenario: $(b,injected) (a fault on the first \
+             attempt), $(b,adversarial) (a thread squatting in a patched \
+             function), or $(b,unhealthy) (a failing health probe). \
+             Repeatable; default: all three.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Sweep seed (fault plans, retry jitter).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Sweep up to $(docv) CVEs concurrently (default: one per core; \
+             1 forces a serial sweep).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the structured event log (JSON) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "manager-run"
+       ~doc:
+         "Push corpus CVEs through the supervised update manager \
+          (watchdog deadlines, retry queue, health-gated auto-revert) \
+          under fault injection and adversarial scheduling, asserting \
+          liveness and byte-identical rollbacks")
+    Term.(
+      const (fun v c sc s j o -> setup_logs v; cmd_manager_run c sc s j o)
+      $ verbose_t $ cves $ scenarios $ seed $ jobs $ out)
+
+let manager_report_cmd =
+  let path =
+    Arg.(
+      value & pos 0 string "MANAGER.json"
+      & info [] ~docv:"FILE"
+          ~doc:"Event log written by manager-run --out.")
+  in
+  Cmd.v
+    (Cmd.info "manager-report"
+       ~doc:"Summarize a manager-run event log; nonzero exit on recorded \
+             violations or contract failures")
+    Term.(const cmd_manager_report $ path)
+
 let bench_summary_cmd =
   let path =
     Arg.(
@@ -480,4 +711,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
-            demo_cmd; fault_sweep_cmd; bench_summary_cmd ]))
+            demo_cmd; fault_sweep_cmd; manager_run_cmd; manager_report_cmd;
+            bench_summary_cmd ]))

@@ -43,6 +43,7 @@ type error =
   | Ambiguous_symbol of string * string * int
   | Unresolved_symbol of string
   | Not_quiescent of not_quiescent
+  | Deadline_exceeded of { de_budget : int; de_diag : not_quiescent }
   | Function_too_small of string
   | Hook_fault of string * Machine.fault
   | Out_of_memory of string
@@ -71,6 +72,17 @@ let pp_error ppf = function
         Format.fprintf ppf "@\n  blocked by %s: %s" who
           (String.concat " <- " bt))
       nq.nq_blockers
+  | Deadline_exceeded { de_budget; de_diag } ->
+    Format.fprintf ppf
+      "deadline of %d steps exceeded after %d attempts (%d backoff \
+       steps); functions still in use: %s"
+      de_budget de_diag.nq_attempts de_diag.nq_steps_run
+      (String.concat ", " de_diag.nq_functions);
+    List.iter
+      (fun (who, bt) ->
+        Format.fprintf ppf "@\n  blocked by %s: %s" who
+          (String.concat " <- " bt))
+      de_diag.nq_blockers
   | Function_too_small f ->
     Format.fprintf ppf "function %s is too small for a jump trampoline" f
   | Hook_fault (h, f) ->
@@ -218,7 +230,8 @@ let run_hooks t ~resolve (update : Update.t) kind =
 let apply ?(tolerance = Runpre.full_tolerance)
     ?(max_attempts = default_max_attempts)
     ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
-    ?(retry_budget = default_retry_budget) ?inject t (update : Update.t) =
+    ?(retry_budget = default_retry_budget) ?deadline ?inject t
+    (update : Update.t) =
   let txn = Txn.begin_ t.m in
   let enter s =
     Txn.enter txn s;
@@ -425,10 +438,7 @@ let apply ?(tolerance = Runpre.full_tolerance)
       in
       if ok then pause_ns
       else begin
-        let delay =
-          min (backoff_steps ~retry_base ~retry_cap n) (retry_budget - spent)
-        in
-        if n + 1 >= max_attempts || delay <= 0 then begin
+        let diag () =
           let blockers = blocking_threads t.m guard_ranges in
           List.iter
             (fun (who, bt) ->
@@ -436,14 +446,28 @@ let apply ?(tolerance = Runpre.full_tolerance)
                   k "quiescence blocked by %s: %s" who
                     (String.concat " <- " bt)))
             blockers;
+          { nq_functions = List.map (fun r -> r.r_fn) replacements;
+            nq_attempts = n + 1; nq_steps_run = spent;
+            nq_blockers = blockers }
+        in
+        (* watchdog: the per-apply step budget dominates every other
+           retry bound — blowing it is a distinct, non-negotiable abort *)
+        let remaining =
+          match deadline with Some d -> d - spent | None -> max_int
+        in
+        if remaining <= 0 then
           raise
             (Fail
-               (Not_quiescent
-                  { nq_functions =
-                      List.map (fun r -> r.r_fn) replacements;
-                    nq_attempts = n + 1; nq_steps_run = spent;
-                    nq_blockers = blockers }))
-        end
+               (Deadline_exceeded
+                  { de_budget = Option.get deadline; de_diag = diag () }));
+        let delay =
+          min
+            (min (backoff_steps ~retry_base ~retry_cap n)
+               (retry_budget - spent))
+            remaining
+        in
+        if n + 1 >= max_attempts || delay <= 0 then
+          raise (Fail (Not_quiescent (diag ())))
         else begin
           (* exponential backoff: let the scheduler drain the functions *)
           Log.debug (fun k ->
@@ -487,7 +511,7 @@ let apply ?(tolerance = Runpre.full_tolerance)
 
 let undo ?(max_attempts = default_max_attempts)
     ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
-    ?(retry_budget = default_retry_budget) t update_id =
+    ?(retry_budget = default_retry_budget) ?deadline t update_id =
   (* undo is transactional too: a faulted reverse hook or quiescence
      failure leaves the update applied and the kernel untouched *)
   let txn = Txn.begin_ t.m in
@@ -542,18 +566,29 @@ let undo ?(max_attempts = default_max_attempts)
          in
          if ok then ()
          else begin
-           let delay =
-             min (backoff_steps ~retry_base ~retry_cap n)
-               (retry_budget - spent)
+           let diag () =
+             { nq_functions =
+                 List.map (fun r -> r.r_fn) top.replacements;
+               nq_attempts = n + 1; nq_steps_run = spent;
+               nq_blockers = blocking_threads t.m guard_ranges }
            in
-           if n + 1 >= max_attempts || delay <= 0 then
+           let remaining =
+             match deadline with Some d -> d - spent | None -> max_int
+           in
+           if remaining <= 0 then
              raise
                (Fail
-                  (Not_quiescent
-                     { nq_functions =
-                         List.map (fun r -> r.r_fn) top.replacements;
-                       nq_attempts = n + 1; nq_steps_run = spent;
-                       nq_blockers = blocking_threads t.m guard_ranges }))
+                  (Deadline_exceeded
+                     { de_budget = Option.get deadline;
+                       de_diag = diag () }));
+           let delay =
+             min
+               (min (backoff_steps ~retry_base ~retry_cap n)
+                  (retry_budget - spent))
+               remaining
+           in
+           if n + 1 >= max_attempts || delay <= 0 then
+             raise (Fail (Not_quiescent (diag ())))
            else begin
              Txn.with_tag txn Txn.Sched (fun () ->
                  ignore (Machine.run t.m ~steps:delay : int));

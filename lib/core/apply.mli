@@ -71,6 +71,10 @@ type error =
   | Ambiguous_symbol of string * string * int  (** unit, symbol, matches *)
   | Unresolved_symbol of string
   | Not_quiescent of not_quiescent
+  | Deadline_exceeded of { de_budget : int; de_diag : not_quiescent }
+      (** the watchdog step budget ([?deadline]) ran out before the
+          update quiesced; carries the configured budget and the same
+          blocker diagnostics as {!Not_quiescent} *)
   | Function_too_small of string
   | Hook_fault of string * Kernel.Machine.fault
   | Out_of_memory of string  (** module area exhausted (or injected) *)
@@ -101,6 +105,13 @@ val applied : t -> applied list
     carries the attempt count, steps consumed, and the blocking threads
     with backtraces.
 
+    [deadline] is the watchdog: a hard cap on the total scheduler steps
+    the quiescence/backoff path may consume for this apply. It is
+    checked before [max_attempts]/[retry_budget]; exhausting it aborts
+    the transaction with {!Deadline_exceeded} and the usual
+    byte-identical rollback. Unset means no deadline (the
+    [retry_budget] bound still applies).
+
     [tolerance] selects run-pre matcher capabilities (ablation
     experiments only). [inject] threads a {!Faultinj.session} through
     the pipeline — each step boundary notifies the session so it can arm
@@ -111,6 +122,7 @@ val apply :
   ?retry_base:int ->
   ?retry_cap:int ->
   ?retry_budget:int ->
+  ?deadline:int ->
   ?inject:Faultinj.session ->
   t -> Update.t ->
   (applied, error) result
@@ -125,6 +137,7 @@ val undo :
   ?retry_base:int ->
   ?retry_cap:int ->
   ?retry_budget:int ->
+  ?deadline:int ->
   t -> string ->
   (unit, error) result
 

@@ -37,6 +37,7 @@ type entry = {
 type journal = entry list (* most recent write first *)
 
 let journal_entries (j : journal) = List.length j
+let journal_writes (j : journal) = List.map (fun e -> (e.e_addr, e.e_old)) j
 
 let replay (j : journal) m =
   List.iter (fun e -> Machine.write_bytes m e.e_addr e.e_old) j

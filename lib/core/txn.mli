@@ -47,6 +47,13 @@ type journal
 (** Number of retained write entries. *)
 val journal_entries : journal -> int
 
+(** The retained writes as [(addr, old_bytes)] in replay order (most
+    recent first — later pairs overwrite earlier ones at shared
+    addresses, exactly as {!replay} applies them). Lets a supervisor
+    audit an undo: after replay, every journaled address must hold its
+    pre-apply byte. *)
+val journal_writes : journal -> (int * Bytes.t) list
+
 (** Replay a committed journal (most recent write first), restoring the
     old bytes of every machinery write. Run under [stop_machine] with
     the quiescence check passed. *)

@@ -183,6 +183,312 @@ let run ?(seed = 0) ?cves ?progress ?domains () =
 
 let ok r = r.violations = 0 && r.recovery_failures = 0
 
+(* ---------- the supervised (manager-level) sweep ----------
+
+   The transactional sweep above proves §5.2 for one apply; this one
+   proves the supervision loop around it: every CVE is pushed through
+   [Manager] under three hostile regimes, and each cell must reach a
+   terminal state (liveness) with a clean rollback audit (safety). *)
+
+type scenario = Injected | Adversarial | Unhealthy
+
+let all_scenarios = [ Injected; Adversarial; Unhealthy ]
+
+let scenario_name = function
+  | Injected -> "injected"
+  | Adversarial -> "adversarial"
+  | Unhealthy -> "unhealthy"
+
+let scenario_char = function
+  | Injected -> 'I'
+  | Adversarial -> 'A'
+  | Unhealthy -> 'U'
+
+type mcell = {
+  mc_status : Manager.status;
+  mc_attempts : int;
+  mc_clock : int;
+  mc_events : int;
+  mc_violations : int;
+  mc_notes : string list;  (* scenario-contract breaches; [] = passed *)
+  mc_report : Report.Json.t;  (* the cell's full manager event log *)
+}
+
+type mrow = {
+  m_cve : string;
+  m_cells : (scenario * mcell) list;
+}
+
+type mreport = {
+  m_rows : mrow list;
+  m_cells_total : int;
+  m_healthy : int;
+  m_parked : int;
+  m_quarantined : int;
+  m_violations : int;
+  m_failures : int;  (* cells with contract breaches *)
+}
+
+(* the health gate the manager runs after every successful apply: the
+   CVE's exploit must be blocked (where one exists) and a short stress
+   smoke must pass *)
+let health_checks (b : Boot.booted) (cve : Cve.t) =
+  let exploit =
+    match Exploits.find cve.id with
+    | None -> []
+    | Some ex ->
+      [ { Manager.hc_name = "exploit:" ^ ex.name;
+          hc_probe =
+            (fun () ->
+              let o = ex.run b in
+              if o.succeeded then
+                Error ("exploit still succeeds: " ^ o.detail)
+              else Ok ()) } ]
+  in
+  exploit
+  @ [ { Manager.hc_name = "stress-smoke";
+        hc_probe =
+          (fun () ->
+            let r = Stress.run b ~threads:2 ~iterations:3 in
+            if r.ok then Ok ()
+            else Error (String.concat "; " r.failures)) } ]
+
+(* tight enough that the watchdog and retry queue actually trip in the
+   adversarial and forced-not-quiescent cells, loose enough that a
+   drainable blocker still converges *)
+let manager_policy ~seed =
+  { Manager.default_policy with
+    seed; deadline = 12_000; retry_limit = 4; backoff_base = 300;
+    backoff_cap = 2_000; jitter = 100 }
+
+let run_mcell ~seed scenario (cve : Cve.t) update =
+  let b = Boot.boot () in
+  let ap = Apply.init b.machine in
+  let mgr = Manager.create ~policy:(manager_policy ~seed) ap in
+  let health = health_checks b cve in
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  let session = ref None in
+  (match scenario with
+   | Injected ->
+     (* one canonical fault, at a step chosen deterministically from
+        (seed, cve) — armed for the first attempt only, so the retry
+        path sees the transient heal *)
+     let steps = Txn.all_steps in
+     let si = abs (Hashtbl.hash (seed, cve.id)) mod List.length steps in
+     let step = List.nth steps si in
+     let plan =
+       { Faultinj.step; kind = Faultinj.kind_for_step step; seed }
+     in
+     let s = Faultinj.make b.machine plan in
+     session := Some (plan, s);
+     Manager.submit mgr update ~health
+       ~inject:(fun ~attempt -> if attempt = 1 then Some s else None)
+   | Adversarial ->
+     (* an adversarial scheduler: a thread parked at the entry of a
+        function the update will replace — its pc sits in the §5.2
+        guard range until the manager's backoff drains it *)
+     (match update.Ksplice.Update.replaced_functions with
+      | (_, cfn) :: _ ->
+        let raw, _ = Ksplice.Update.split_canonical cfn in
+        (match
+           Machine.lookup_name b.machine raw
+           |> List.filter (fun (s : Klink.Image.syminfo) ->
+                  s.kind = `Func)
+         with
+         | [ s ] ->
+           ignore
+             (Machine.spawn b.machine ~name:"churner" ~uid:1
+                ~entry:s.addr ~args:[ 1l ]
+               : Machine.thread)
+         | _ -> ())
+      | [] -> ());
+     Manager.submit mgr update ~health
+   | Unhealthy ->
+     (* the update applies fine but the gate must fail: a canary probe
+        forces the auto-revert/quarantine path *)
+     let canary =
+       { Manager.hc_name = "canary";
+         hc_probe = (fun () -> Error "deliberately failing probe") }
+     in
+     Manager.submit mgr update ~health:(health @ [ canary ]));
+  Manager.run mgr;
+  (match !session with Some (_, s) -> Faultinj.disarm s | None -> ());
+  let st =
+    match Manager.status mgr cve.id with
+    | Some st -> st
+    | None -> Manager.Waiting
+  in
+  let attempts = Manager.attempts mgr cve.id in
+  (* liveness: Manager.run returned and the update is terminal *)
+  (match st with
+   | Manager.Waiting -> note "not terminal: still waiting after run"
+   | _ -> ());
+  (* safety: every abort, park, and auto-revert audited byte-identical *)
+  if Manager.violations mgr > 0 then
+    note "%d rollback-audit violations" (Manager.violations mgr);
+  (* scenario contracts *)
+  (match scenario with
+   | Injected ->
+     let plan, s = Option.get !session in
+     let fired = Faultinj.fired s in
+     (match st with
+      | Manager.Applied_healthy ->
+        if fired && Faultinj.expect_abort plan.kind then begin
+          (* only a transient quiescence fault may heal on retry *)
+          if plan.kind <> Faultinj.Forced_not_quiescent then
+            note "%a fired yet update went healthy" Faultinj.pp_plan plan
+          else if attempts < 2 then
+            note "healed %a without a retry" Faultinj.pp_plan plan
+        end
+      | Manager.Parked (Manager.Rejected _) ->
+        if not (fired && Faultinj.expect_abort plan.kind) then
+          note "parked though %a never fired" Faultinj.pp_plan plan
+      | Manager.Parked _ ->
+        (* a quiescence park can't happen here: the machine is at rest
+           and the fault is armed for the first attempt only *)
+        note "unexpected park class under %a" Faultinj.pp_plan plan
+      | st -> note "unexpected state %s" (Manager.status_name st));
+     if st <> Manager.Applied_healthy && Apply.applied ap <> [] then
+       note "non-healthy outcome left the update applied"
+   | Adversarial ->
+     (match st with
+      | Manager.Applied_healthy | Manager.Parked (Manager.Exhausted_retries _)
+        -> ()
+      | st -> note "unexpected state %s" (Manager.status_name st));
+     if st <> Manager.Applied_healthy && Apply.applied ap <> [] then
+       note "parked update still applied"
+   | Unhealthy ->
+     (match st with
+      | Manager.Quarantined { reverted = true; evidence } ->
+        if
+          not
+            (List.exists (fun (n, _) -> String.equal n "canary") evidence)
+        then note "quarantine evidence misses the canary probe"
+      | Manager.Quarantined { reverted = false; _ } ->
+        note "auto-revert failed; unhealthy update still live"
+      | st -> note "unexpected state %s" (Manager.status_name st));
+     if Apply.applied ap <> [] then
+       note "quarantined update still on the applied stack");
+  {
+    mc_status = st;
+    mc_attempts = attempts;
+    mc_clock = Manager.now mgr;
+    mc_events = List.length (Manager.events mgr);
+    mc_violations = Manager.violations mgr;
+    mc_notes = List.rev !notes;
+    mc_report = Manager.report mgr;
+  }
+
+let msummarize rows =
+  let count f =
+    List.fold_left
+      (fun acc r ->
+        acc + List.length (List.filter (fun (_, c) -> f c) r.m_cells))
+      0 rows
+  in
+  {
+    m_rows = rows;
+    m_cells_total = count (fun _ -> true);
+    m_healthy = count (fun c -> c.mc_status = Manager.Applied_healthy);
+    m_parked =
+      count (fun c ->
+          match c.mc_status with Manager.Parked _ -> true | _ -> false);
+    m_quarantined =
+      count (fun c ->
+          match c.mc_status with
+          | Manager.Quarantined _ -> true
+          | _ -> false);
+    m_violations =
+      List.fold_left
+        (fun acc r ->
+          acc
+          + List.fold_left
+              (fun acc (_, c) -> acc + c.mc_violations)
+              0 r.m_cells)
+        0 rows;
+    m_failures = count (fun c -> c.mc_notes <> []);
+  }
+
+let run_manager ?(seed = 0) ?cves ?(scenarios = all_scenarios) ?progress
+    ?domains () =
+  let cves = Option.value cves ~default:Cve.all in
+  let base = Base_kernel.tree () in
+  let progress_m = Mutex.create () in
+  let emit line =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_m;
+      f line;
+      Mutex.unlock progress_m
+  in
+  let rows =
+    Parallel.map ?domains
+      (fun (i, cve) ->
+        let update = create_update cve base in
+        let cells =
+          List.map
+            (fun sc ->
+              let cell_seed = seed + (1013 * i) + Hashtbl.hash (scenario_name sc) in
+              (sc, run_mcell ~seed:cell_seed sc cve update))
+            scenarios
+        in
+        let row = { m_cve = cve.id; m_cells = cells } in
+        emit
+          (Printf.sprintf "%-14s %s" row.m_cve
+             (String.concat " "
+                (List.map
+                   (fun (sc, c) ->
+                     Printf.sprintf "%c:%s%s" (scenario_char sc)
+                       (Manager.status_name c.mc_status)
+                       (if c.mc_notes = [] then "" else "(FAIL)"))
+                   row.m_cells)));
+        row)
+      (List.mapi (fun i cve -> (i, cve)) cves)
+  in
+  msummarize rows
+
+let manager_ok r = r.m_failures = 0 && r.m_violations = 0
+
+let pp_manager ppf r =
+  Format.fprintf ppf
+    "supervised sweep: %d CVEs x %d scenarios@\n@\n"
+    (List.length r.m_rows)
+    (match r.m_rows with [] -> 0 | row :: _ -> List.length row.m_cells);
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-16s %s@\n" row.m_cve
+        (String.concat "  "
+           (List.map
+              (fun (sc, c) ->
+                Printf.sprintf "%c:%-16s a=%d t=%-6d%s" (scenario_char sc)
+                  (Manager.status_name c.mc_status)
+                  c.mc_attempts c.mc_clock
+                  (if c.mc_notes = [] then "" else " FAIL"))
+              row.m_cells)))
+    r.m_rows;
+  Format.fprintf ppf
+    "@\ncells: %d  healthy: %d  parked: %d  quarantined: %d  \
+     audit violations: %d  contract failures: %d@\n"
+    r.m_cells_total r.m_healthy r.m_parked r.m_quarantined r.m_violations
+    r.m_failures;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun (sc, c) ->
+          if c.mc_notes <> [] then begin
+            Format.fprintf ppf "FAILURE %s @@ %s:@\n" row.m_cve
+              (scenario_name sc);
+            List.iter (fun m -> Format.fprintf ppf "  %s@\n" m) c.mc_notes
+          end)
+        row.m_cells)
+    r.m_rows;
+  if manager_ok r then
+    Format.fprintf ppf
+      "every update reached a terminal state; every abort, park and \
+       auto-revert audited byte-identical@\n"
+
 let pp_matrix ppf r =
   let steps = Txn.all_steps in
   (* header: abbreviated step names, vertical *)

@@ -61,6 +61,73 @@ val run :
 (** No violations and every CVE recovered. *)
 val ok : report -> bool
 
+(** {1 The supervised (manager-level) sweep}
+
+    The cells above prove §5.2 for a single transactional apply; this
+    sweep proves the supervision loop around it. Every CVE is pushed
+    through {!Manager.t} under three hostile regimes and must reach a
+    terminal state (liveness) with clean rollback audits (safety). *)
+
+type scenario =
+  | Injected
+      (** one canonical fault (step chosen deterministically from the
+          seed) armed for the first apply attempt only: abort faults
+          must park the update, the transient quiescence veto must heal
+          through the retry queue, benign perturbation must not matter *)
+  | Adversarial
+      (** a thread parked at the entry of a to-be-replaced function
+          blocks §5.2 quiescence until the manager's backoff drains
+          it: the watchdog and retry queue do the work *)
+  | Unhealthy
+      (** a canary health probe always fails: the gate must unwind the
+          probes, auto-revert, and quarantine with the evidence *)
+
+val all_scenarios : scenario list
+val scenario_name : scenario -> string
+
+type mcell = {
+  mc_status : Manager.status;  (** terminal state the cell reached *)
+  mc_attempts : int;
+  mc_clock : int;  (** manager steps driven *)
+  mc_events : int;
+  mc_violations : int;  (** rollback-audit failures (must be 0) *)
+  mc_notes : string list;  (** contract breaches; [[]] = cell passed *)
+  mc_report : Report.Json.t;  (** the cell's full manager event log *)
+}
+
+type mrow = {
+  m_cve : string;
+  m_cells : (scenario * mcell) list;
+}
+
+type mreport = {
+  m_rows : mrow list;
+  m_cells_total : int;
+  m_healthy : int;
+  m_parked : int;
+  m_quarantined : int;
+  m_violations : int;
+  m_failures : int;
+}
+
+(** [run_manager ?seed ?cves ?scenarios ?progress ?domains ()] — same
+    fan-out discipline as {!run}: one freshly booted machine per
+    (CVE, scenario) cell, rows parallel across the domain pool,
+    deterministic in [seed]. *)
+val run_manager :
+  ?seed:int ->
+  ?cves:Cve.t list ->
+  ?scenarios:scenario list ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  unit ->
+  mreport
+
+(** Zero contract failures and zero audit violations. *)
+val manager_ok : mreport -> bool
+
+val pp_manager : Format.formatter -> mreport -> unit
+
 (** The step × fault matrix: one row per CVE, one column per pipeline
     step, plus totals and a closing verdict line. *)
 val pp_matrix : Format.formatter -> report -> unit

@@ -51,6 +51,11 @@ type t = {
   mutable threads_rev : thread list;
   mutable next_tid : int;
   mutable tick_count : int;
+  (* monotone instruction odometer: unlike [tick_count] it is never
+     rewound by [restore_volatile] (transaction rollback undoes kernel
+     time, but not the work the host actually performed) and is not part
+     of any snapshot — the supervisor's step accounting hangs off it *)
+  mutable retired : int;
   console_buf : Buffer.t;
   mutable module_cursor : int;
   mutable next_stack_top : int;
@@ -131,6 +136,7 @@ let create ?(mem_size = 0x0200_0000) (img : Klink.Image.t) =
       threads_rev = [];
       next_tid = 1;
       tick_count = 0;
+      retired = 0;
       console_buf = Buffer.create 256;
       module_cursor = (img.base + img.size + 0x1_0000 + 0xfff) land lnot 0xfff;
       next_stack_top = mem_size - 0x4000;
@@ -154,6 +160,7 @@ let create ?(mem_size = 0x0200_0000) (img : Klink.Image.t) =
 
 let image t = t.img
 let tick t = t.tick_count
+let instructions_retired t = t.retired
 let console t = Buffer.contents t.console_buf
 let kallsyms t = t.syms
 
@@ -566,7 +573,8 @@ let run_thread t th n =
      | `Ok -> ()
      | `Yield | `Stop -> continue := false);
     incr executed;
-    t.tick_count <- t.tick_count + 1
+    t.tick_count <- t.tick_count + 1;
+    t.retired <- t.retired + 1
   done;
   !executed
 
@@ -649,7 +657,8 @@ let call_function ?(step_limit = 2_000_000) ?(uid = 0) t ~addr ~args =
              | Faulted f -> result := Some (Error f)
              | Exited v -> result := Some (Ok v)
              | _ -> result := Some (Ok th.regs.(0))));
-          incr steps
+          incr steps;
+          t.retired <- t.retired + 1
         end
       done;
       Option.get !result)

@@ -46,6 +46,14 @@ val create : ?mem_size:int -> Klink.Image.t -> t
 
 val image : t -> Klink.Image.t
 val tick : t -> int
+
+(** Monotone instruction odometer. [tick] is kernel time and is rewound
+    when a transaction rolls back its volatile snapshot; this counter
+    only ever grows and is excluded from snapshots, so supervision code
+    can meter real work (watchdog budgets, event timestamps) across
+    rollbacks. *)
+val instructions_retired : t -> int
+
 val console : t -> string
 
 (** kallsyms of the running kernel: boot image symbols plus symbols of

@@ -37,6 +37,8 @@ type expr =
   | Efield of expr * string  (* e.f  (e a struct lvalue) *)
   | Earrow of expr * string  (* e->f *)
   | Eassign of expr * expr  (* lvalue = e *)
+  | Ecompound of binop * expr * expr  (* lvalue op= e; lvalue evaluated once *)
+  | Epostop of binop * expr  (* lvalue++/--: yields the pre-update value *)
   | Ecast of ty * expr
   | Esizeof of ty
 

@@ -106,6 +106,9 @@ let rec gen_expr f (e : texpr) =
     emit f (Isa.Pop r1);
     emit f (Isa.Store (width_of w, r0, 0, r1));
     emit f (Isa.Mov_rr (r0, r1))
+  | Tseq (a, b) ->
+    gen_expr f a;
+    gen_expr f b
   | Tbin (op, a, b) -> gen_binop f op a b
   | Tun (op, a) ->
     gen_expr f a;

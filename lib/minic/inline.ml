@@ -50,8 +50,9 @@ let rec expr_calls e acc =
   | Eicall (c, args) -> expr_calls c (List.fold_right expr_calls args acc)
   | Ebin (_, a, b) -> expr_calls a (expr_calls b acc)
   | Eun (_, a) | Ederef a | Eaddr a | Ecast (_, a) -> expr_calls a acc
-  | Eindex (a, b) | Eassign (a, b) -> expr_calls a (expr_calls b acc)
-  | Efield (a, _) | Earrow (a, _) -> expr_calls a acc
+  | Eindex (a, b) | Eassign (a, b) | Ecompound (_, a, b) ->
+    expr_calls a (expr_calls b acc)
+  | Efield (a, _) | Earrow (a, _) | Epostop (_, a) -> expr_calls a acc
   | Eint _ | Echar _ | Estr _ | Eident _ | Esizeof _ -> acc
 
 let rec stmt_calls s acc =
@@ -125,6 +126,9 @@ let rec rename_expr map e =
   | Efield (a, f) -> Efield (rename_expr map a, f)
   | Earrow (a, f) -> Earrow (rename_expr map a, f)
   | Eassign (a, b) -> Eassign (rename_expr map a, rename_expr map b)
+  | Ecompound (op, a, b) ->
+    Ecompound (op, rename_expr map a, rename_expr map b)
+  | Epostop (op, a) -> Epostop (op, rename_expr map a)
   | Ecast (t, a) -> Ecast (t, rename_expr map a)
 
 let rec rename_stmts suffix map stmts =
@@ -239,6 +243,8 @@ let rec extract ctx depth (e : expr) (prelude : stmt list ref) : expr =
   | Efield (a, f) -> Efield (recur a, f)
   | Earrow (a, f) -> Earrow (recur a, f)
   | Eassign (a, b) -> Eassign (recur a, recur b)
+  | Ecompound (op, a, b) -> Ecompound (op, recur a, recur b)
+  | Epostop (op, a) -> Epostop (op, recur a)
   | Ecast (t, a) -> Ecast (t, recur a)
   | Eint _ | Echar _ | Estr _ | Eident _ | Esizeof _ -> e
 

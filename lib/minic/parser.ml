@@ -109,10 +109,7 @@ and parse_assign st =
     | Some op ->
       advance st;
       let rhs = parse_assign st in
-      (* lvalue op= e desugars to lvalue = lvalue op e; the lvalue is
-         evaluated twice, so side-effecting subscripts are rejected in
-         style but not by the compiler *)
-      Eassign (lhs, Ebin (op, lhs, rhs))
+      Ecompound (op, lhs, rhs)
 
 and parse_binlevel st ops next =
   let lhs = ref (next st) in
@@ -152,11 +149,11 @@ and parse_unary st =
   | Lexer.PUNCT "++" ->
     advance st;
     let e = parse_unary st in
-    Eassign (e, Ebin (Badd, e, Eint 1l))
+    Ecompound (Badd, e, Eint 1l)
   | Lexer.PUNCT "--" ->
     advance st;
     let e = parse_unary st in
-    Eassign (e, Ebin (Bsub, e, Eint 1l))
+    Ecompound (Bsub, e, Eint 1l)
   | Lexer.PUNCT "-" ->
     advance st;
     Eun (Uneg, parse_unary st)
@@ -207,12 +204,10 @@ and parse_postfix st =
       e := Eindex (!e, idx)
     | Lexer.PUNCT "++" ->
       advance st;
-      (* value semantics are those of the pre-form; fine in statement
-         position, which is the only idiomatic use in this code base *)
-      e := Eassign (!e, Ebin (Badd, !e, Eint 1l))
+      e := Epostop (Badd, !e)
     | Lexer.PUNCT "--" ->
       advance st;
-      e := Eassign (!e, Ebin (Bsub, !e, Eint 1l))
+      e := Epostop (Bsub, !e)
     | Lexer.PUNCT "." ->
       advance st;
       e := Efield (!e, expect_ident st)

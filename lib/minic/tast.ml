@@ -33,6 +33,7 @@ and tdesc =
   | Tsym_addr of string  (* address of a data symbol or function *)
   | Tload of mem_width * texpr
   | Tstore of mem_width * texpr * texpr  (* addr, value; yields value *)
+  | Tseq of texpr * texpr  (* evaluate both; the first's value is dropped *)
   | Tbin of Ast.binop * texpr * texpr
   | Tun of Ast.unop * texpr
   | Twiden of widen * texpr

@@ -160,6 +160,38 @@ let add_offset addr off =
   if off = 0 then addr
   else mk (Tbin (Badd, addr, mk (Tconst (Int32.of_int off)) Int)) addr.ty
 
+(* a compiler-generated frame slot, used to evaluate a side-effecting
+   lvalue address (or a postfix operand's old value) exactly once *)
+let tmp_local env ty =
+  let slot = env.next_local in
+  env.next_local <- slot + 1;
+  env.locals <- { l_id = slot; l_ty = ty; l_size = 4 } :: env.locals;
+  slot
+
+(* can re-evaluating this address change observable state or yield a
+   different value? loads are pure here (no volatile in the subset) *)
+let rec addr_pure (e : texpr) =
+  match e.desc with
+  | Tconst _ | Tstring _ | Tsym_addr _ | Tlocal_get _ | Tlocal_addr _
+  | Tparam_get _ | Tparam_addr _ -> true
+  | Tbin (_, a, b) -> addr_pure a && addr_pure b
+  | Tun (_, a) | Twiden (_, a) | Tload (_, a) -> addr_pure a
+  | Tseq _ | Tlocal_set _ | Tparam_set _ | Tstore _ | Tcall _ | Tbuiltin _
+  | Ticall _ -> false
+
+(* [addr] evaluated exactly once: pure addresses pass through, impure
+   ones are spilled to a temp slot read back at each use site *)
+let cached_addr env (addr : texpr) =
+  if addr_pure addr then (addr, None)
+  else begin
+    let slot = tmp_local env addr.ty in
+    (mk (Tlocal_get slot) addr.ty,
+     Some (mk (Tlocal_set (slot, addr)) addr.ty))
+  end
+
+let seq pre e =
+  match pre with None -> e | Some p -> mk (Tseq (p, e)) e.ty
+
 (* --- expression checking --- *)
 
 let rec check_expr env (e : expr) : texpr =
@@ -214,6 +246,53 @@ let rec check_expr env (e : expr) : texpr =
      | LVparam (i, _) -> mk (Tparam_set (i, narrowed t rhs')) t
      | LVmem (addr, _) ->
        narrowed t (mk (Tstore (width_of t, addr, rhs')) t))
+  | Ecompound (op, lhs, rhs) ->
+    let lv = check_lvalue env lhs in
+    let rhs' = check_expr env rhs in
+    let t = lv_ty lv in
+    if not (is_scalar t) then err "assignment to non-scalar";
+    if not (is_scalar (decay rhs'.ty)) then err "assignment of non-scalar";
+    (match lv with
+     | LVlocal (slot, _) ->
+       let nv = binop_texpr env op (rvalue env lv) rhs' in
+       mk (Tlocal_set (slot, narrowed t nv)) t
+     | LVparam (i, _) ->
+       let nv = binop_texpr env op (rvalue env lv) rhs' in
+       mk (Tparam_set (i, narrowed t nv)) t
+     | LVmem (addr, _) ->
+       (* the address is computed once and reused for the read-back and
+          the store, so side effects in the lvalue fire exactly once *)
+       let caddr, pre = cached_addr env addr in
+       let old = rvalue env (LVmem (caddr, t)) in
+       let nv = binop_texpr env op old rhs' in
+       seq pre (narrowed t (mk (Tstore (width_of t, caddr, nv)) t)))
+  | Epostop (op, lhs) ->
+    let lv = check_lvalue env lhs in
+    let t = lv_ty lv in
+    if not (is_scalar t) then err "++/-- on non-scalar";
+    let lv, pre =
+      match lv with
+      | LVmem (addr, pt) ->
+        let caddr, apre = cached_addr env addr in
+        (LVmem (caddr, pt), apre)
+      | other -> (other, None)
+    in
+    (* stash the pre-update value in a temp: it is the expression's
+       value, and it must survive the write-back *)
+    let old = rvalue env lv in
+    let otmp = tmp_local env old.ty in
+    let save = mk (Tlocal_set (otmp, old)) old.ty in
+    let oldv = mk (Tlocal_get otmp) old.ty in
+    let nv = narrowed t (binop_texpr env op oldv (mk (Tconst 1l) Int)) in
+    let wrote =
+      match lv with
+      | LVlocal (slot, _) -> mk (Tlocal_set (slot, nv)) t
+      | LVparam (i, _) -> mk (Tparam_set (i, nv)) t
+      | LVmem (caddr, _) -> mk (Tstore (width_of t, caddr, nv)) t
+    in
+    let result = mk (Tlocal_get otmp) old.ty in
+    seq pre
+      (mk (Tseq (save, mk (Tseq (wrote, result)) result.ty)) result.ty)
   | Ecast (t, e) ->
     let e' = check_expr env e in
     (match t with
@@ -339,19 +418,22 @@ and check_call env name args =
       | None, None -> err "call to undeclared function %s" name))
 
 and check_binop env op a b =
+  let a' = check_expr env a and b' = check_expr env b in
+  binop_texpr env op a' b'
+
+(* apply [op] to two already-checked operands; compound assignment and
+   the ++/-- forms reuse this on a cached lvalue value *)
+and binop_texpr env op a' b' =
   match op with
   | Bland | Blor ->
-    let a' = check_expr env a and b' = check_expr env b in
     if not (is_scalar (decay a'.ty) && is_scalar (decay b'.ty)) then
       err "logical operator on non-scalar";
     mk (Tbin (op, a', b')) Int
   | Beq | Bne | Blt | Ble | Bgt | Bge ->
-    let a' = check_expr env a and b' = check_expr env b in
     if not (is_scalar (decay a'.ty) && is_scalar (decay b'.ty)) then
       err "comparison of non-scalar";
     mk (Tbin (op, a', b')) Int
   | Badd | Bsub ->
-    let a' = check_expr env a and b' = check_expr env b in
     let ta = decay a'.ty and tb = decay b'.ty in
     (match ta, tb, op with
      | Ptr t, i, _ when is_intish i ->
@@ -377,10 +459,17 @@ and check_binop env op a b =
        mk (Tbin (op, a', b')) Int
      | _ -> err "invalid operands to +/-")
   | Bmul | Bdiv | Bmod | Band | Bor | Bxor | Bshl | Bshr ->
-    let a' = check_expr env a and b' = check_expr env b in
     if not (is_intish (decay a'.ty) && is_intish (decay b'.ty)) then
       err "arithmetic on non-integer";
     mk (Tbin (op, a', b')) Int
+
+(* A discarded postfix update is the matching compound assignment: the
+   old-value temp only exists to produce the result, so statement-position
+   [i++] (loop steps, expression statements) stays a plain read-op-write. *)
+let check_expr_discard env (e : expr) : texpr =
+  match e with
+  | Epostop (op, lhs) -> check_expr env (Ecompound (op, lhs, Eint 1l))
+  | e -> check_expr env e
 
 (* --- constant expressions (global initialisers) --- *)
 
@@ -467,7 +556,7 @@ let rec check_stmts env stmts = List.concat_map (check_stmt env) stmts
 
 and check_stmt env (s : stmt) : tstmt list =
   match s with
-  | Sexpr e -> [ TSexpr (check_expr env e) ]
+  | Sexpr e -> [ TSexpr (check_expr_discard env e) ]
   | Sblock stmts ->
     push_scope env;
     let r = check_stmts env stmts in
@@ -536,9 +625,9 @@ and check_stmt env (s : stmt) : tstmt list =
     env.switch_depth <- env.switch_depth - 1;
     [ TSswitch (sc, cases') ]
   | Sfor (init, cond, step, body) ->
-    let init' = Option.map (check_expr env) init in
+    let init' = Option.map (check_expr_discard env) init in
     let cond' = Option.map (check_expr env) cond in
-    let step' = Option.map (check_expr env) step in
+    let step' = Option.map (check_expr_discard env) step in
     (match cond' with
      | Some c when not (is_scalar (decay c.ty)) ->
        err "for condition must be scalar"

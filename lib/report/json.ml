@@ -240,3 +240,28 @@ let to_int = function
 
 let to_str = function Str s -> Some s | _ -> None
 let to_list = function Arr l -> Some l | _ -> None
+
+(* --- files --- *)
+
+let to_file path v =
+  match open_out path with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string v));
+    Ok ()
+  | exception Sys_error msg -> Error msg
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated while reading")
+  | text -> (
+    match parse text with
+    | Ok v -> Ok v
+    | Error msg -> Error (path ^ ": " ^ msg))

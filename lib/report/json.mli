@@ -19,6 +19,15 @@ val to_string : t -> string
     whitespace, escapes, and scientific-notation numbers. *)
 val parse : string -> (t, string) result
 
+(** Write {!to_string} output to [path]. [Error msg] on any I/O
+    failure (never raises). *)
+val to_file : string -> t -> (unit, string) result
+
+(** Read and parse [path]. [Error msg] on a missing/unreadable file or
+    malformed JSON (never raises) — the message names the path, so CLI
+    callers can print it verbatim and exit nonzero. *)
+val of_file : string -> (t, string) result
+
 (** {2 Accessors} — all total; [None] on shape mismatch. *)
 
 val member : string -> t -> t option

@@ -244,6 +244,78 @@ ksplice_post_apply(fare_fixup);
    | Error e -> Alcotest.failf "clean apply: %a" Apply.pp_error e);
   Alcotest.(check int32) "patched" 24l (call m img "fare" [ 3l ])
 
+let test_txn_double_close_raises () =
+  (* closing a transaction twice is a programming error and must fail
+     loudly, not silently corrupt the journal *)
+  let _, _, m = boot base_src in
+  let txn = Txn.begin_ m in
+  Txn.discard txn;
+  let expect_closed f =
+    Alcotest.check_raises "second close rejected"
+      (Invalid_argument "Txn: transaction already closed") (fun () -> f ())
+  in
+  expect_closed (fun () -> Txn.rollback txn);
+  expect_closed (fun () -> ignore (Txn.commit txn : Txn.journal));
+  expect_closed (fun () -> Txn.discard txn);
+  (* the machine is untouched and a fresh transaction still works *)
+  let txn2 = Txn.begin_ m in
+  Txn.rollback txn2
+
+let test_stacked_undo_hook_fault_leaves_both_applied () =
+  (* two stacked updates; undoing the topmost fails in its reverse hook.
+     The undo transaction must put the journal bytes back, leaving BOTH
+     updates applied and the kernel byte-identical to pre-undo. *)
+  let tree, img, m = boot base_src in
+  let tree_a = patched_fare tree in
+  let tree_b =
+    Tree.add tree_a "k/t.c"
+      (replace "acc = acc + fare(3);" "acc = acc + fare(3) + 1;"
+         (Option.get (Tree.find tree_a "k/t.c"))
+       ^ {|
+int churn_unfix_ran = 0;
+int churn_unfix() {
+  churn_unfix_ran = 1;
+  return 0;
+}
+ksplice_reverse(churn_unfix);
+|})
+  in
+  let ua = mk_update ~id:"fareA" tree tree_a in
+  let ub = mk_update ~id:"churnB" tree_a tree_b in
+  let mgr = Apply.init m in
+  (match Apply.apply mgr ua with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "apply A: %a" Apply.pp_error e);
+  (match Apply.apply mgr ub with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "apply B: %a" Apply.pp_error e);
+  Alcotest.(check int32) "both patches live" 25l (call m img "churn" [ 1l ]);
+  let snap = Machine.snapshot m in
+  (* fault every hook call: the reverse hook of B cannot run *)
+  Machine.set_call_injector m (Some (fun pc -> Some (Machine.Memory_violation pc)));
+  (match Apply.undo mgr "churnB" with
+   | Ok () -> Alcotest.fail "expected the reverse hook fault to abort undo"
+   | Error (Apply.Hook_fault _) -> ()
+   | Error e -> Alcotest.failf "unexpected error: %a" Apply.pp_error e);
+  Machine.set_call_injector m None;
+  check_identical "failed undo rolled back" m snap;
+  Alcotest.(check (list string)) "both updates still applied"
+    [ "churnB"; "fareA" ]
+    (List.map
+       (fun (a : Apply.applied) -> a.update.Ksplice.Update.update_id)
+       (Apply.applied mgr));
+  Alcotest.(check int32) "patched behaviour intact" 25l
+    (call m img "churn" [ 1l ]);
+  (* with the injector gone the stack unwinds cleanly *)
+  (match Apply.undo mgr "churnB" with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "clean undo B: %a" Apply.pp_error e);
+  (match Apply.undo mgr "fareA" with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "clean undo A: %a" Apply.pp_error e);
+  Alcotest.(check int32) "base behaviour restored" 21l
+    (call m img "churn" [ 1l ])
+
 (* --- the qcheck property (satellite 3): random CVE x step x seed --- *)
 
 (* updates are machine-independent, so they are built once and cached;
@@ -345,6 +417,9 @@ let suite =
           test_corrupt_reloc_detected;
         t "hook fault at commit unwinds live trampolines"
           test_hook_fault_at_commit_unwinds_trampolines;
+        t "double close raises" test_txn_double_close_raises;
+        t "stacked undo hook fault leaves both applied"
+          test_stacked_undo_hook_fault_leaves_both_applied;
         QCheck_alcotest.to_alcotest prop_fault_rollback;
       ] );
   ]

@@ -528,6 +528,66 @@ int spin(int n) {
   in
   check int32_c "increments" 9l (exec src "spin" [ 10l ])
 
+let test_compound_single_eval () =
+  (* regression: the lvalue of [op=] is evaluated once; a side-effecting
+     index expression used to fire twice under the old desugaring *)
+  let src =
+    {|
+int tab[4] = { 10, 20, 30, 40 };
+int calls = 0;
+int pick() { calls++; return 2; }
+int probe() {
+  calls = 0;
+  tab[pick()] += 5;
+  return tab[2] * 10 + calls;
+}
+int bump_stmt() {
+  calls = 0;
+  tab[2] = 30;
+  tab[pick()]++;
+  return tab[2] * 10 + calls;
+}
+|}
+  in
+  check int32_c "op= evaluates index once" 351l (exec src "probe" []);
+  check int32_c "statement i++ evaluates index once" 311l
+    (exec src "bump_stmt" [])
+
+let test_postfix_value_semantics () =
+  (* regression: postfix ++/-- in value position yields the pre-update
+     value (the old desugaring gave the pre-form's new value) *)
+  let src =
+    {|
+int tab[3] = { 7, 8, 9 };
+int locals() {
+  int i = 5;
+  int got = i++;
+  int j = 9;
+  int dec = j--;
+  return (got * 10 + i) * 100 + dec * 10 + j;
+}
+int walk() {
+  int *p = tab;
+  int first = *p++;
+  int second = *p++;
+  return first * 10 + second;
+}
+char c;
+int narrow() {
+  c = 127;
+  int old = c++;
+  return old * 1000 + c;
+}
+|}
+  in
+  (* got=5 i=6; dec=9 j=8 *)
+  check int32_c "postfix on locals" 5698l (exec src "locals" []);
+  check int32_c "*p++ walks the array" 78l (exec src "walk" []);
+  (* old value is 127; the char wraps to -128 *)
+  check int32_c "char postfix narrows after yielding old value"
+    (Int32.of_int ((127 * 1000) - 128))
+    (exec src "narrow" [])
+
 let test_switch_duplicate_case_rejected () =
   let src =
     "int f(int v) { switch (v) { case 1: return 1; case 1: return 2; } \
@@ -687,6 +747,8 @@ let suite =
         t "do while" test_do_while;
         t "compound assignment" test_compound_assignment;
         t "increment/decrement" test_incr_decr;
+        t "compound assignment single eval" test_compound_single_eval;
+        t "postfix value semantics" test_postfix_value_semantics;
         t "duplicate case rejected" test_switch_duplicate_case_rejected;
         t "type errors" test_type_errors;
         t "parse error lines" test_parse_errors_have_lines;
