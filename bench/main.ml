@@ -592,6 +592,74 @@ let creation_sweep ?(cves = Corpus.Cve.all) () =
   if not identical then
     print_endline "*** PARALLEL CREATION DIVERGED FROM SERIAL ***"
 
+(* ---------- TR: tracing overhead and byte identity ---------- *)
+
+(* (cves, untraced wall s, traced wall s, identical, records) *)
+let trace_result :
+    (int * float * float * bool * int) option ref =
+  ref None
+
+let trace_overhead_budget = 1.5
+
+let trace_overhead ?(cves = Corpus.Cve.all) () =
+  section "Tracing overhead: traced vs untraced apply sweep";
+  let ups = List.map (fun cve -> (cve, (create_cve_exn cve).update)) cves in
+  (* what "applied bytes" means here: the module image the update landed
+     plus the trampoline bytes read back from the running kernel — the
+     sum of everything apply wrote that stays live *)
+  let apply_one traced ((cve : Corpus.Cve.t), update) =
+    let b = Corpus.Boot.boot () in
+    if traced then
+      Trace.set_clock (fun () -> Machine.instructions_retired b.machine);
+    let ap = Apply.init b.machine in
+    match Apply.apply ap update with
+    | Error e ->
+      Format.kasprintf failwith "%s: trace-sweep apply failed: %a" cve.id
+        Apply.pp_error e
+    | Ok (a : Apply.applied) ->
+      let image =
+        List.map
+          (fun (addr, bytes) -> (addr, Bytes.to_string bytes))
+          a.module_image
+      in
+      let tramps =
+        List.map
+          (fun (r : Apply.replacement) ->
+            Bytes.to_string (Machine.read_bytes b.machine r.r_old_addr 5))
+          a.replacements
+      in
+      (cve.id, image, tramps)
+  in
+  Trace.reset ();
+  Trace.set_enabled false;
+  let t0 = now () in
+  let untraced = List.map (apply_one false) ups in
+  let untraced_t = now () -. t0 in
+  Trace.set_capacity 65536;
+  Trace.set_enabled true;
+  let t0 = now () in
+  let traced = List.map (apply_one true) ups in
+  let traced_t = now () -. t0 in
+  Trace.set_enabled false;
+  let records = List.length (Trace.records ()) + Trace.dropped () in
+  Trace.reset ();
+  let identical = untraced = traced in
+  let overhead = traced_t /. untraced_t in
+  trace_result :=
+    Some (List.length cves, untraced_t, traced_t, identical, records);
+  Printf.printf "CVEs:                %d\n" (List.length cves);
+  Printf.printf "untraced wall:       %8.3f s\n" untraced_t;
+  Printf.printf "traced wall:         %8.3f s  (%d records)\n" traced_t
+    records;
+  Printf.printf "overhead:            %8.2fx  (budget %.2fx)\n" overhead
+    trace_overhead_budget;
+  Printf.printf "identical applied bytes from both runs: %b\n" identical;
+  if not identical then
+    print_endline "*** TRACED APPLY DIVERGED FROM UNTRACED ***";
+  if overhead > trace_overhead_budget then
+    Printf.printf "*** TRACING OVERHEAD %.2fx EXCEEDS %.2fx BUDGET ***\n"
+      overhead trace_overhead_budget
+
 (* ---------- P: Bechamel timing ---------- *)
 
 let bechamel_benches ?(quick = false) () =
@@ -798,6 +866,22 @@ let emit_bench_json ~mode () =
                 ("speedup", Num (serial_t /. par_t));
                 ("identical", Bool identical);
               ] );
+        ( "trace",
+          match !trace_result with
+          | None -> Null
+          | Some (cves, untraced_t, traced_t, identical, records) ->
+            let overhead = traced_t /. untraced_t in
+            Obj
+              [
+                ("cves", num cves);
+                ("untraced_wall_s", Num untraced_t);
+                ("traced_wall_s", Num traced_t);
+                ("overhead", Num overhead);
+                ("budget", Num trace_overhead_budget);
+                ("within_budget", Bool (overhead <= trace_overhead_budget));
+                ("identical", Bool identical);
+                ("records", num records);
+              ] );
       ]
   in
   let oc = open_out !out_path in
@@ -830,6 +914,7 @@ let () =
     timed "creation_sweep" (fun () -> creation_sweep ~cves:quick_cves ());
     timed "manager_sweep" (fun () ->
         manager_sweep ~cves:(List.filteri (fun i _ -> i < 4) quick_cves) ());
+    timed "trace_overhead" (fun () -> trace_overhead ~cves:quick_cves ());
     timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
   end
   else begin
@@ -847,6 +932,7 @@ let () =
     timed "fault_sweep" fault_sweep;
     timed "manager_sweep" (fun () -> manager_sweep ());
     timed "creation_sweep" (fun () -> creation_sweep ());
+    timed "trace_overhead" (fun () -> trace_overhead ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())
   end;

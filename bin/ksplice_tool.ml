@@ -308,7 +308,26 @@ let cmd_bench_summary path =
          (Option.value ~default:Float.nan (field cs "speedup" J.to_float))
          (match J.member "identical" cs with
           | Some (J.Bool b) -> string_of_bool b
-          | _ -> "?"))
+          | _ -> "?"));
+    (match J.member "trace" doc with
+     | None | Some J.Null -> ()
+     | Some tr ->
+       let fstr k =
+         match field tr k J.to_float with
+         | Some f -> Printf.sprintf "%.3f" f
+         | None -> "?"
+       in
+       let bstr k =
+         match J.member k tr with
+         | Some (J.Bool b) -> string_of_bool b
+         | _ -> "?"
+       in
+       Printf.printf
+         "tracing overhead:     %s CVEs — untraced %s s, traced %s s \
+          (%sx, budget %s, within=%s), identical=%s, %s records\n"
+         (istr tr "cves") (fstr "untraced_wall_s") (fstr "traced_wall_s")
+         (fstr "overhead") (fstr "budget") (bstr "within_budget")
+         (bstr "identical") (istr tr "records"))
 
 let cmd_fault_sweep cve_ids seed jobs =
   (* every cell intentionally aborts an apply; the per-abort warnings are
@@ -505,6 +524,148 @@ let cmd_manager_report path =
   | Some 0, Some 0 -> ()
   | _ -> exit 1
 
+(* --- structured tracing: trace / metrics --- *)
+
+(* Boot a kernel, create the update for one CVE, and apply it with
+   tracing live (the caller has enabled the collector). With [sabotage],
+   one byte of a replaced function's running code is corrupted first, so
+   run-pre matching must reject the candidate — the exported trace then
+   demonstrates the §4 diagnostic: which candidate was rejected and the
+   byte offset of first divergence. *)
+let traced_cve_run ~sabotage cve_id =
+  match Corpus.Cve.find cve_id with
+  | None ->
+    Printf.eprintf "error: unknown CVE %s (try list-cves)\n" cve_id;
+    exit 1
+  | Some cve -> (
+    let b = Corpus.Boot.boot () in
+    Trace.set_clock (fun () ->
+        Kernel.Machine.instructions_retired b.machine);
+    let base = Corpus.Base_kernel.tree () in
+    let patch = Corpus.Cve.hot_patch cve base in
+    match
+      Create.create
+        { source = base; patch; update_id = cve.id; description = cve.desc }
+    with
+    | Error e ->
+      Format.eprintf "error: create failed: %a@." Create.pp_error e;
+      exit 1
+    | Ok { update; _ } ->
+      if sabotage then begin
+        match update.Update.replaced_functions with
+        | [] ->
+          Printf.eprintf "error: %s replaces no functions\n" cve.id;
+          exit 1
+        | (_, cfn) :: _ -> (
+          let raw, _ = Update.split_canonical cfn in
+          match
+            Kernel.Machine.lookup_name b.machine raw
+            |> List.find_opt (fun (s : Klink.Image.syminfo) ->
+                 s.kind = `Func)
+          with
+          | None ->
+            Printf.eprintf "error: %s not in kallsyms\n" raw;
+            exit 1
+          | Some s ->
+            let byte = Kernel.Machine.read_u8 b.machine s.addr in
+            Kernel.Machine.write_bytes b.machine s.addr
+              (Bytes.make 1 (Char.chr (byte lxor 0x01))))
+      end;
+      let ap = Apply.init b.machine in
+      (match (Apply.apply ap update, sabotage) with
+       | Ok a, false ->
+         Printf.printf "applied %s: %d trampoline(s), pause %.3f ms\n"
+           cve.id
+           (List.length a.saved)
+           (float_of_int a.pause_ns /. 1e6)
+       | Error (Apply.Code_mismatch m), true ->
+         Printf.printf
+           "run-pre rejected %s %s at pre+%#x / run %#x: %s\n" m.unit_name
+           m.section m.pre_off m.run_addr m.reason
+       | Ok _, true ->
+         Printf.eprintf
+           "error: sabotage did not provoke a run-pre mismatch\n";
+         exit 1
+       | Error e, _ ->
+         Format.eprintf "error: apply failed: %a@." Apply.pp_error e;
+         exit 1))
+
+let validate_roundtrip ~what doc =
+  let module J = Report.Json in
+  let text = J.to_string doc in
+  (match J.parse text with
+   | Error m ->
+     Printf.eprintf "error: exported %s does not parse: %s\n" what m;
+     exit 1
+   | Ok v ->
+     if not (String.equal (J.to_string v) text) then begin
+       Printf.eprintf "error: exported %s does not round-trip\n" what;
+       exit 1
+     end);
+  Printf.printf "%s: %d bytes, parses and round-trips\n" what
+    (String.length text)
+
+let write_json_or_die ~what out doc =
+  match out with
+  | None -> print_string (Report.Json.to_string doc)
+  | Some path -> (
+    match Report.Json.to_file path doc with
+    | Ok () -> Printf.printf "%s written to %s\n" what path
+    | Error m ->
+      Printf.eprintf "error: cannot write %s: %s\n" path m;
+      exit 1)
+
+let cmd_trace cve_id sabotage capacity out check =
+  Trace.reset ();
+  Trace.set_capacity capacity;
+  Trace.set_enabled true;
+  traced_cve_run ~sabotage cve_id;
+  Trace.set_enabled false;
+  let doc = Trace.export () in
+  Printf.printf "trace: %d record(s), %d dropped\n"
+    (List.length (Trace.records ()))
+    (Trace.dropped ());
+  write_json_or_die ~what:"trace" out doc;
+  if check then begin
+    validate_roundtrip ~what:"trace export" doc;
+    validate_roundtrip ~what:"metrics export" (Trace.metrics ())
+  end
+
+let cmd_metrics cve_id sabotage out =
+  Trace.reset ();
+  Trace.set_enabled true;
+  traced_cve_run ~sabotage cve_id;
+  Trace.set_enabled false;
+  let module J = Report.Json in
+  let num n = J.Num (float_of_int n) in
+  (* fold the pre-existing process-wide counters into the document so
+     one place answers "what did this run cost" *)
+  let cs : Kbuild.cache_stats = Kbuild.cache_stats () in
+  let is : Kernel.Machine.index_stats =
+    Kernel.Machine.kallsyms_index_stats ()
+  in
+  let extra =
+    [
+      ( "kbuild_cache",
+        J.Obj
+          [
+            ("hits", num cs.hits);
+            ("misses", num cs.misses);
+            ("evictions", num cs.evictions);
+            ("entries", num cs.entries);
+            ("capacity", num cs.capacity);
+          ] );
+      ( "kallsyms_index",
+        J.Obj [ ("lookups", num is.lookups); ("hits", num is.hits) ] );
+    ]
+  in
+  let doc =
+    match Trace.metrics () with
+    | J.Obj fields -> J.Obj (fields @ extra)
+    | other -> other
+  in
+  write_json_or_die ~what:"metrics" out doc
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -692,6 +853,66 @@ let manager_report_cmd =
              violations or contract failures")
     Term.(const cmd_manager_report $ path)
 
+let trace_cve_t =
+  Arg.(
+    value & opt string "CVE-2006-2451"
+    & info [ "cve" ] ~docv:"ID"
+        ~doc:"CVE to create and apply under tracing (default: the prctl \
+              patch).")
+
+let trace_sabotage_t =
+  Arg.(
+    value & flag
+    & info [ "sabotage" ]
+        ~doc:
+          "Corrupt one byte of the replaced function's running code \
+           first, so the trace records a run-pre rejection with the byte \
+           offset of first divergence (the \u{00a7}4 diagnostic).")
+
+let trace_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the JSON document to $(docv) (default: stdout).")
+
+let trace_cmd =
+  let capacity =
+    Arg.(
+      value & opt int 16384
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Trace ring-buffer capacity in records (drop-oldest).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Validate that the exported trace and metrics JSON parse and \
+             round-trip byte-identically; exit nonzero otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Apply one corpus CVE with structured tracing enabled and export \
+          the span/event trace (ksplice-trace/1 JSON), clocked by retired \
+          instructions for bit-identical replay")
+    Term.(
+      const (fun v c s cap o ck -> setup_logs v; cmd_trace c s cap o ck)
+      $ verbose_t $ trace_cve_t $ trace_sabotage_t $ capacity $ trace_out_t
+      $ check)
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Apply one corpus CVE with tracing enabled and export counters \
+          and histograms (ksplice-metrics/1 JSON), including compile-cache \
+          and kallsyms-index hit rates")
+    Term.(
+      const (fun v c s o -> setup_logs v; cmd_metrics c s o)
+      $ verbose_t $ trace_cve_t $ trace_sabotage_t $ trace_out_t)
+
 let bench_summary_cmd =
   let path =
     Arg.(
@@ -712,4 +933,4 @@ let () =
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
             demo_cmd; fault_sweep_cmd; manager_run_cmd; manager_report_cmd;
-            bench_summary_cmd ]))
+            trace_cmd; metrics_cmd; bench_summary_cmd ]))

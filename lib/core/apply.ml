@@ -232,8 +232,22 @@ let apply ?(tolerance = Runpre.full_tolerance)
     ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
     ?(retry_budget = default_retry_budget) ?deadline ?inject t
     (update : Update.t) =
+  Trace.with_span "apply" ~fields:[ ("update", Trace.Str update.update_id) ]
+  @@ fun () ->
   let txn = Txn.begin_ t.m in
+  (* one span per transaction step, siblings under the apply span; the
+     current one is closed when the next step opens (or on exit) *)
+  let step_span = ref None in
+  let close_step () =
+    match !step_span with
+    | Some sp ->
+      Trace.end_span sp;
+      step_span := None
+    | None -> ()
+  in
   let enter s =
+    close_step ();
+    step_span := Some (Trace.begin_span ("apply.step." ^ Txn.step_name s));
     Txn.enter txn s;
     match inject with
     | None -> ()
@@ -417,6 +431,7 @@ let apply ?(tolerance = Runpre.full_tolerance)
           ignore (Isa.encode buf 0 (Isa.Jmp (Int32.of_int disp)) : int);
           Machine.write_bytes t.m r.r_old_addr buf)
         replacements;
+      Trace.count "apply.trampolines" (List.length replacements);
       Txn.with_tag txn Txn.Hook (fun () ->
           run_hooks t ~resolve update Ast.Hook_apply)
     in
@@ -470,6 +485,7 @@ let apply ?(tolerance = Runpre.full_tolerance)
           raise (Fail (Not_quiescent (diag ())))
         else begin
           (* exponential backoff: let the scheduler drain the functions *)
+          Trace.count "apply.quiescence_retries" 1;
           Log.debug (fun k ->
               k "quiescence attempt %d failed; backing off %d steps" n
                 delay);
@@ -485,6 +501,8 @@ let apply ?(tolerance = Runpre.full_tolerance)
     Txn.with_tag txn Txn.Hook (fun () ->
         run_hooks t ~resolve update Ast.Hook_post_apply);
     let journal = Txn.commit txn in
+    close_step ();
+    Trace.observe "apply.pause_ns" (float_of_int pause_ns);
     finish_inject ();
     let a =
       { update; replacements; saved = List.rev !saved; module_ranges;
@@ -498,11 +516,13 @@ let apply ?(tolerance = Runpre.full_tolerance)
     Ok a
   with
   | Fail e ->
+    close_step ();
     Txn.rollback txn;
     finish_inject ();
     Log.warn (fun k -> k "apply %s failed: %a" update.update_id pp_error e);
     Error e
   | Machine.Out_of_memory msg ->
+    close_step ();
     Txn.rollback txn;
     finish_inject ();
     let e = Out_of_memory msg in
@@ -512,6 +532,8 @@ let apply ?(tolerance = Runpre.full_tolerance)
 let undo ?(max_attempts = default_max_attempts)
     ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
     ?(retry_budget = default_retry_budget) ?deadline t update_id =
+  Trace.with_span "undo" ~fields:[ ("update", Trace.Str update_id) ]
+  @@ fun () ->
   (* undo is transactional too: a faulted reverse hook or quiescence
      failure leaves the update applied and the kernel untouched *)
   let txn = Txn.begin_ t.m in
@@ -590,6 +612,7 @@ let undo ?(max_attempts = default_max_attempts)
            if n + 1 >= max_attempts || delay <= 0 then
              raise (Fail (Not_quiescent (diag ())))
            else begin
+             Trace.count "undo.quiescence_retries" 1;
              Txn.with_tag txn Txn.Sched (fun () ->
                  ignore (Machine.run t.m ~steps:delay : int));
              attempt (n + 1) (spent + delay)

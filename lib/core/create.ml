@@ -71,6 +71,9 @@ let binding_table (o : Objfile.t) =
   tbl
 
 let create ?(build_options = Minic.Driver.pre_build) ?domains req =
+  Trace.with_span "create"
+    ~fields:[ ("update", Trace.Str req.update_id) ]
+  @@ fun () ->
   match Diff.apply req.patch req.source with
   | Error m -> Error (Patch_error m)
   | Ok post_tree -> (
@@ -85,9 +88,17 @@ let create ?(build_options = Minic.Driver.pre_build) ?domains req =
       let patched_units =
         Diff.changed_files req.patch |> List.filter is_source
       in
+      (* workers may land on pool domains whose span context is empty;
+         re-enter the caller's context so per-unit spans keep the
+         "create" span as parent across Parallel.map *)
+      let ctx = Trace.context () in
       let diffs =
         Parallel.map ?domains
           (fun unit_name ->
+            Trace.with_context ctx @@ fun () ->
+            Trace.with_span "create.unit"
+              ~fields:[ ("unit", Trace.Str unit_name) ]
+            @@ fun () ->
             let pre =
               match Kbuild.find_unit pre_build unit_name with
               | Some u -> u.obj

@@ -266,8 +266,29 @@ let text_sections (helper : Objfile.t) =
         | None -> None)
     helper.sections
 
+(* fold the free-form mismatch text into a stable counter suffix, so
+   "runpre.reject.<class>" cardinality stays bounded no matter what the
+   reason strings interpolate *)
+let reason_class reason =
+  let has_prefix p = String.length reason >= String.length p
+                     && String.sub reason 0 (String.length p) = p in
+  if has_prefix "symbol " then "symbol_conflict"
+  else if has_prefix "jump class differs" then "jump_class"
+  else if has_prefix "strict jump mismatch" then "strict_jump"
+  else if has_prefix "jump target mismatch" then "jump_target"
+  else if has_prefix "jump into middle" then "jump_alignment"
+  else if has_prefix "pre jump leaves" then "jump_escape"
+  else if has_prefix "instruction mismatch" then "code"
+  else if has_prefix "undecodable" then "undecodable"
+  else if has_prefix "run memory unreadable" then "unreadable"
+  else if has_prefix "relocation on short jump" then "short_reloc"
+  else "other"
+
 let match_helper ?(tolerance = full_tolerance) ~read_run ~candidates
-    ~already ~inference helper =
+    ~already ~inference (helper : Objfile.t) =
+  Trace.with_span "runpre.match_helper"
+    ~fields:[ ("unit", Trace.Str helper.unit_name) ]
+  @@ fun () ->
   let bindings = binding_index helper in
   let pending = ref (text_sections helper) in
   let anchors = ref [] in
@@ -291,14 +312,34 @@ let match_helper ?(tolerance = full_tolerance) ~read_run ~candidates
   let try_candidates p cands =
     List.filter_map
       (fun addr ->
+        Trace.count "runpre.match_attempts" 1;
         let trial = { committed = inference; overlay = Hashtbl.create 16 } in
         match
           match_text ~tolerance ~read_run ~helper ~bindings
             ~section:p.p_section ~run_base:addr ~trial
         with
-        | () -> Some (addr, trial)
+        | () ->
+          Trace.instant "runpre.candidate"
+            ~fields:
+              [ ("unit", Trace.Str helper.unit_name);
+                ("section", Trace.Str p.p_section.name);
+                ("addr", Trace.Int addr);
+                ("accepted", Trace.Bool true) ];
+          Some (addr, trial)
         | exception Mismatch m ->
           last_failure := Some m;
+          Trace.count ("runpre.reject." ^ reason_class m.reason) 1;
+          (* the §4 diagnostic: which candidate, and the byte offset of
+             first divergence on both sides *)
+          Trace.instant "runpre.candidate"
+            ~fields:
+              [ ("unit", Trace.Str helper.unit_name);
+                ("section", Trace.Str p.p_section.name);
+                ("addr", Trace.Int addr);
+                ("accepted", Trace.Bool false);
+                ("reason", Trace.Str m.reason);
+                ("pre_off", Trace.Int m.pre_off);
+                ("run_addr", Trace.Int m.run_addr) ];
           None)
       (List.sort_uniq compare cands)
   in

@@ -179,9 +179,11 @@ let remove_kallsyms t pred =
 
 let lookup_name t name =
   Atomic.incr idx_lookups;
+  Trace.count "kallsyms.lookups" 1;
   match Hashtbl.find_opt t.sym_index name with
   | Some entries ->
     Atomic.incr idx_hits;
+    Trace.count "kallsyms.hits" 1;
     entries
   | None -> []
 let privileged_ranges t = t.priv

@@ -172,6 +172,29 @@ let attempts t id =
 
 let err_str e = Format.asprintf "%a" Apply.pp_error e
 
+(* The typed event, viewed as a trace record. This is the manager's one
+   serialization path: [event_json] renders through [Trace.record_json],
+   and [emit] mirrors the same fields into the live trace buffer, so the
+   event log and a trace export cannot drift apart. *)
+let event_fields (e : Event.t) =
+  [
+    ("update", Trace.Str e.Event.update);
+    ("at", Trace.Int e.Event.at);
+    ("attempt", Trace.Int e.Event.attempt);
+    ("steps", Trace.Int e.Event.steps);
+    ("detail", Trace.Str e.Event.detail);
+  ]
+
+let event_record (e : Event.t) : Trace.record =
+  {
+    Trace.id = e.Event.seq;
+    parent = -1;
+    clock = e.Event.retired;
+    kind = Trace.Instant;
+    name = "manager." ^ Event.kind_name e.Event.kind;
+    fields = event_fields e;
+  }
+
 let emit t ?(attempt = 0) ?(steps = 0) ?(detail = "") update kind =
   let ev =
     {
@@ -187,6 +210,7 @@ let emit t ?(attempt = 0) ?(steps = 0) ?(detail = "") update kind =
   in
   t.next_seq <- t.next_seq + 1;
   t.events <- ev :: t.events;
+  Trace.instant ("manager." ^ Event.kind_name kind) ~fields:(event_fields ev);
   Log.debug (fun k -> k "%a" Event.pp ev)
 
 (* seeded jitter without Random: a splitmix-ish integer hash of
@@ -474,18 +498,7 @@ let status_json = function
                evidence) );
       ]
 
-let event_json (e : Event.t) =
-  J.Obj
-    [
-      ("seq", num e.seq);
-      ("at", num e.at);
-      ("retired", num e.retired);
-      ("update", J.Str e.update);
-      ("kind", J.Str (Event.kind_name e.kind));
-      ("attempt", num e.attempt);
-      ("steps", num e.steps);
-      ("detail", J.Str e.detail);
-    ]
+let event_json (e : Event.t) = Trace.record_json (event_record e)
 
 let report t =
   J.Obj

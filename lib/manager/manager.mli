@@ -163,6 +163,11 @@ val violations : t -> int
 (** Rollback-audit failures observed (0 when the §5.2 contract held,
     or when [audit_rollback] is off). *)
 
+(** One event as JSON, rendered through {!Trace.record_json} — the
+    manager has a single serializer shared with the trace layer, so the
+    event log and a trace export cannot drift apart. *)
+val event_json : Event.t -> Report.Json.t
+
 (** The event log and terminal statuses as a JSON document
     ([ksplice-manager/1] schema), for [ksplice-tool manager-run
     --out] / [manager-report]. *)

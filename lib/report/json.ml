@@ -8,24 +8,89 @@ type t =
 
 (* --- writer --- *)
 
+(* The writer emits pure ASCII: codepoints >= 0x80 leave as \uXXXX
+   escapes, so the output is valid JSON no matter what bytes an OCaml
+   string carries. Valid UTF-8 sequences (2- and 3-byte, minimally
+   encoded, non-surrogate) become their codepoint's escape; any byte
+   that is not part of one — lone continuation bytes, overlong forms,
+   4-byte sequences beyond the BMP — is escaped as a lone low
+   surrogate \udcXX (the "surrogateescape" convention), which the
+   parser folds back to the raw byte. parse (to_string v) = v for
+   every [Str], whatever its bytes. *)
 let escape_string b s =
+  let n = String.length s in
+  let esc code = Buffer.add_string b (Printf.sprintf "\\u%04x" code) in
+  let byte i = Char.code s.[i] in
+  let cont i = i < n && byte i land 0xc0 = 0x80 in
   Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let c0 = Char.code c in
+    (match c with
+     | '"' ->
+       Buffer.add_string b "\\\"";
+       incr i
+     | '\\' ->
+       Buffer.add_string b "\\\\";
+       incr i
+     | '\n' ->
+       Buffer.add_string b "\\n";
+       incr i
+     | '\r' ->
+       Buffer.add_string b "\\r";
+       incr i
+     | '\t' ->
+       Buffer.add_string b "\\t";
+       incr i
+     | _ when c0 < 0x20 ->
+       esc c0;
+       incr i
+     | _ when c0 < 0x80 ->
+       Buffer.add_char b c;
+       incr i
+     | _ when c0 land 0xe0 = 0xc0 && cont (!i + 1) ->
+       let code = ((c0 land 0x1f) lsl 6) lor (byte (!i + 1) land 0x3f) in
+       if code >= 0x80 then begin
+         (* minimally-encoded 2-byte sequence *)
+         esc code;
+         i := !i + 2
+       end
+       else begin
+         (* overlong: not valid UTF-8 — escape the raw byte *)
+         esc (0xdc00 lor c0);
+         incr i
+       end
+     | _ when c0 land 0xf0 = 0xe0 && cont (!i + 1) && cont (!i + 2) ->
+       let code =
+         ((c0 land 0x0f) lsl 12)
+         lor ((byte (!i + 1) land 0x3f) lsl 6)
+         lor (byte (!i + 2) land 0x3f)
+       in
+       if code >= 0x800 && not (code >= 0xd800 && code <= 0xdfff) then begin
+         esc code;
+         i := !i + 3
+       end
+       else begin
+         (* overlong or an encoded surrogate: invalid UTF-8 *)
+         esc (0xdc00 lor c0);
+         incr i
+       end
+     | _ ->
+       (* stray continuation byte, truncated sequence, or a 4-byte
+          (beyond-BMP) lead: escape byte by byte *)
+       esc (0xdc00 lor c0);
+       incr i)
+  done;
   Buffer.add_char b '"'
 
+(* NaN and the infinities have no JSON representation; emitting the
+   %.17g spellings ("nan", "inf") silently corrupts the document for
+   every consumer. Write [null] for them, deterministically — a report
+   with a degenerate ratio stays parseable. *)
 let add_num b f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if not (Float.is_finite f) then Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Buffer.add_string b (Printf.sprintf "%.0f" f)
   else Buffer.add_string b (Printf.sprintf "%.17g" f)
 
@@ -119,23 +184,37 @@ let parse s =
           | 'b' -> Buffer.add_char b '\b'
           | 'f' -> Buffer.add_char b '\012'
           | 'u' ->
-            if !pos + 4 >= n then fail "bad \\u escape";
-            let hex = String.sub s (!pos + 1) 4 in
-            (match int_of_string_opt ("0x" ^ hex) with
-             | Some code when code < 0x80 -> Buffer.add_char b (Char.chr code)
-             | Some code ->
-               (* non-ASCII escapes round-trip as UTF-8 *)
-               if code < 0x800 then begin
-                 Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
-                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
-               end
-               else begin
-                 Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
-                 Buffer.add_char b
-                   (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
-                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
-               end
-             | None -> fail "bad \\u escape");
+            if !pos + 4 >= n then
+              fail "truncated \\u escape (need 4 hex digits)";
+            (* hand-rolled hex so "\u12_3" and "\u+123" are rejected;
+               int_of_string_opt accepts both *)
+            let hex_digit c =
+              match c with
+              | '0' .. '9' -> Char.code c - Char.code '0'
+              | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+              | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+              | _ -> fail "bad \\u escape (non-hex digit)"
+            in
+            let code =
+              (hex_digit s.[!pos + 1] lsl 12)
+              lor (hex_digit s.[!pos + 2] lsl 8)
+              lor (hex_digit s.[!pos + 3] lsl 4)
+              lor hex_digit s.[!pos + 4]
+            in
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code >= 0xdc00 && code <= 0xdcff then
+              (* surrogate-escaped raw byte from [escape_string] *)
+              Buffer.add_char b (Char.chr (code land 0xff))
+            else if code < 0x800 then begin
+              (* non-ASCII escapes round-trip as UTF-8 *)
+              Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+            end;
             pos := !pos + 4
           | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
          advance ());

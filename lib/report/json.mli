@@ -10,13 +10,24 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
-(** Pretty-printed (2-space indent) UTF-8 JSON text with a trailing
-    newline. Numbers that are integral print without a fraction part. *)
+(** Pretty-printed (2-space indent) pure-ASCII JSON text with a
+    trailing newline. Numbers that are integral print without a
+    fraction part; non-finite floats ([nan], [infinity]) print as
+    [null] — they have no JSON spelling, and a silently invalid
+    document is worse than a lossy one. Strings are escaped so the
+    output is valid JSON for {e any} byte content: valid UTF-8
+    becomes [\uXXXX] escapes, and bytes that are not part of a valid
+    UTF-8 sequence are escaped as lone low surrogates [\udcXX]
+    (Python's "surrogateescape" convention), which {!parse} folds
+    back to the raw byte. Hence [parse (to_string v) = v] for every
+    value whose floats are finite. *)
 val to_string : t -> string
 
 (** Parse a complete JSON document; [Error msg] names the offending
-    offset. Accepts exactly what {!to_string} emits plus ordinary
-    whitespace, escapes, and scientific-notation numbers. *)
+    offset (never raises, on any input — truncated escapes included).
+    Accepts exactly what {!to_string} emits plus ordinary whitespace,
+    escapes ([\uXXXX] requires exactly 4 hex digits), and
+    scientific-notation numbers. *)
 val parse : string -> (t, string) result
 
 (** Write {!to_string} output to [path]. [Error msg] on any I/O
