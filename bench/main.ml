@@ -19,6 +19,7 @@
      X  — §6.3 exploit verification
      R  — §4.3 robustness across build modes
      CS — creation sweep: serial vs domain-parallel update creation
+     ST — store sweep: cold vs warm creation through the artifact store
      P  — Bechamel: apply pause, trampoline overhead, run-pre matching,
           update creation *)
 
@@ -592,6 +593,78 @@ let creation_sweep ?(cves = Corpus.Cve.all) () =
   if not identical then
     print_endline "*** PARALLEL CREATION DIVERGED FROM SERIAL ***"
 
+(* ---------- ST: artifact store, cold vs warm creation ---------- *)
+
+type store_outcome = {
+  st_cves : int;
+  st_cold_s : float;
+  st_warm_s : float;
+  st_identical : bool;
+  st_skipped : int;
+  st_dedup_ratio : float;
+  st_bytes_saved : int;
+}
+
+let store_result : store_outcome option ref = ref None
+
+let store_sweep ?(cves = Corpus.Cve.all) () =
+  section "Store sweep: cold vs warm creation through one shared store";
+  let shared = Store.create ~name:"bench" ~capacity:16384 () in
+  let create_all () =
+    List.map
+      (fun (cve : Corpus.Cve.t) ->
+        match
+          Create.create ~store:shared
+            { source = base; patch = Corpus.Cve.hot_patch cve base;
+              update_id = cve.id; description = cve.desc }
+        with
+        | Ok c -> Bytes.to_string (Update.to_bytes c.update)
+        | Error e ->
+          Format.kasprintf failwith "%s: store sweep create failed: %a" cve.id
+            Create.pp_error e)
+      cves
+  in
+  (* cold: empty compile cache, empty store — every unit compiles and
+     every patched unit is differenced *)
+  Kbuild.reset_cache ();
+  Create.reset_creation_stats ();
+  let t0 = now () in
+  let cold_ups = create_all () in
+  let cold_t = now () -. t0 in
+  (* warm: same store — compiles hit the kbuild store, differencing
+     resolves from interned (pre, post) digest pairs *)
+  Create.reset_creation_stats ();
+  let t0 = now () in
+  let warm_ups = create_all () in
+  let warm_t = now () -. t0 in
+  let skipped = Create.skipped_units () in
+  let identical = cold_ups = warm_ups in
+  let st = Store.stats shared in
+  let dedup_ratio =
+    if st.Store.puts = 0 then 0.0
+    else float_of_int st.Store.dedup_hits /. float_of_int st.Store.puts
+  in
+  store_result :=
+    Some
+      { st_cves = List.length cves; st_cold_s = cold_t; st_warm_s = warm_t;
+        st_identical = identical; st_skipped = skipped;
+        st_dedup_ratio = dedup_ratio;
+        st_bytes_saved = st.Store.bytes_deduped };
+  Printf.printf "CVEs:                %d\n" (List.length cves);
+  Printf.printf "cold wall:           %8.3f s\n" cold_t;
+  Printf.printf "warm wall:           %8.3f s\n" warm_t;
+  Printf.printf "speedup:             %8.2fx\n" (cold_t /. warm_t);
+  Printf.printf "units skipped (warm):%6d\n" skipped;
+  Printf.printf "store puts:          %6d  (dedup hits: %d, ratio %.2f)\n"
+    st.Store.puts st.Store.dedup_hits dedup_ratio;
+  Printf.printf "bytes interned:      %8d  (saved by dedup: %d)\n"
+    st.Store.bytes_put st.Store.bytes_deduped;
+  Printf.printf "identical updates from both passes: %b\n" identical;
+  if not identical then
+    print_endline "*** WARM CREATION DIVERGED FROM COLD ***";
+  if skipped = 0 then
+    print_endline "*** WARM PASS SKIPPED NO UNITS: incremental path dead ***"
+
 (* ---------- TR: tracing overhead and byte identity ---------- *)
 
 (* (cves, untraced wall s, traced wall s, identical, records) *)
@@ -866,6 +939,21 @@ let emit_bench_json ~mode () =
                 ("speedup", Num (serial_t /. par_t));
                 ("identical", Bool identical);
               ] );
+        ( "store",
+          match !store_result with
+          | None -> Null
+          | Some s ->
+            Obj
+              [
+                ("cves", num s.st_cves);
+                ("cold_wall_s", Num s.st_cold_s);
+                ("warm_wall_s", Num s.st_warm_s);
+                ("speedup", Num (s.st_cold_s /. s.st_warm_s));
+                ("identical", Bool s.st_identical);
+                ("skipped_units", num s.st_skipped);
+                ("dedup_ratio", Num s.st_dedup_ratio);
+                ("bytes_saved", num s.st_bytes_saved);
+              ] );
         ( "trace",
           match !trace_result with
           | None -> Null
@@ -912,6 +1000,7 @@ let () =
     timed "table1" table1;
     timed "consequences" consequences;
     timed "creation_sweep" (fun () -> creation_sweep ~cves:quick_cves ());
+    timed "store_sweep" (fun () -> store_sweep ~cves:quick_cves ());
     timed "manager_sweep" (fun () ->
         manager_sweep ~cves:(List.filteri (fun i _ -> i < 4) quick_cves) ());
     timed "trace_overhead" (fun () -> trace_overhead ~cves:quick_cves ());
@@ -932,6 +1021,7 @@ let () =
     timed "fault_sweep" fault_sweep;
     timed "manager_sweep" (fun () -> manager_sweep ());
     timed "creation_sweep" (fun () -> creation_sweep ());
+    timed "store_sweep" (fun () -> store_sweep ());
     timed "trace_overhead" (fun () -> trace_overhead ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())

@@ -38,6 +38,105 @@ let is_source path =
 
 let empty_obj unit_name = Objfile.make ~unit_name ~sections:[] ~symbols:[]
 
+(* --- incremental differencing through the artifact store ---
+
+   Pre and post unit objects are interned by digest; a unit whose pre and
+   post objects are byte-identical needs no differencing at all, and a
+   (pre, post) pair already differenced in this store resolves from the
+   cached diff. Either way the expensive section-by-section comparison is
+   skipped — counted below and mirrored as the
+   [store.create.skipped_units] trace counter. *)
+
+let skipped = Atomic.make 0
+let skipped_units () = Atomic.get skipped
+let reset_creation_stats () = Atomic.set skipped 0
+
+module Diff_codec = Store.Typed (struct
+  type v = Prepost.unit_diff
+
+  let codec_id = "unit-diff/1"
+
+  let put_str b s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+
+  let put_list b l =
+    put_str b (string_of_int (List.length l));
+    List.iter (put_str b) l
+
+  let encode (d : Prepost.unit_diff) =
+    let b = Buffer.create 256 in
+    put_str b d.unit_name;
+    put_list b d.changed_functions;
+    put_list b d.new_functions;
+    put_list b d.removed_functions;
+    put_list b d.changed_data;
+    put_list b d.new_data;
+    Buffer.contents b
+
+  let decode s =
+    let pos = ref 0 in
+    let fail m = failwith (Printf.sprintf "%s at byte %d" m !pos) in
+    let get_str () =
+      match String.index_from_opt s !pos ':' with
+      | None -> fail "missing length prefix"
+      | Some colon ->
+        let len =
+          match int_of_string_opt (String.sub s !pos (colon - !pos)) with
+          | Some n when n >= 0 -> n
+          | _ -> fail "bad length prefix"
+        in
+        if colon + 1 + len > String.length s then fail "truncated field";
+        pos := colon + 1 + len;
+        String.sub s (colon + 1) len
+    in
+    let get_list () =
+      match int_of_string_opt (get_str ()) with
+      | Some n when n >= 0 -> List.init n (fun _ -> get_str ())
+      | _ -> fail "bad list length"
+    in
+    match
+      let unit_name = get_str () in
+      let changed_functions = get_list () in
+      let new_functions = get_list () in
+      let removed_functions = get_list () in
+      let changed_data = get_list () in
+      let new_data = get_list () in
+      ({ unit_name; changed_functions; new_functions; removed_functions;
+         changed_data; new_data }
+        : Prepost.unit_diff)
+    with
+    | d -> Ok d
+    | exception Failure m -> Error m
+end)
+
+let empty_diff unit_name : Prepost.unit_diff =
+  { unit_name; changed_functions = []; new_functions = [];
+    removed_functions = []; changed_data = []; new_data = [] }
+
+let diff_unit_incremental store ~unit_name ~(pre : Objfile.t)
+    ~(post : Objfile.t) =
+  let pre_d = Store.put store (Bytes.to_string (Objfile.to_bytes pre)) in
+  let post_d = Store.put store (Bytes.to_string (Objfile.to_bytes post)) in
+  if String.equal pre_d post_d then begin
+    Atomic.incr skipped;
+    Trace.count "store.create.skipped_units" 1;
+    empty_diff unit_name
+  end
+  else begin
+    let key = "unitdiff:" ^ pre_d ^ ":" ^ post_d in
+    match Diff_codec.lookup store key with
+    | Some d ->
+      Atomic.incr skipped;
+      Trace.count "store.create.skipped_units" 1;
+      d
+    | None ->
+      let d = Prepost.diff_unit ~pre ~post in
+      ignore (Diff_codec.remember store ~key d : Store.digest);
+      d
+  end
+
 (* Sections of [post] to carry in the primary for one unit. *)
 let included_sections (post : Objfile.t) (d : Prepost.unit_diff) =
   List.filter
@@ -70,7 +169,8 @@ let binding_table (o : Objfile.t) =
     o.symbols;
   tbl
 
-let create ?(build_options = Minic.Driver.pre_build) ?domains req =
+let create ?(build_options = Minic.Driver.pre_build) ?domains ?store req =
+  let store = match store with Some s -> s | None -> Store.default () in
   Trace.with_span "create"
     ~fields:[ ("update", Trace.Str req.update_id) ]
   @@ fun () ->
@@ -109,7 +209,7 @@ let create ?(build_options = Minic.Driver.pre_build) ?domains req =
               | Some u -> u.obj
               | None -> empty_obj unit_name
             in
-            Prepost.diff_unit ~pre ~post)
+            diff_unit_incremental store ~unit_name ~pre ~post)
           patched_units
       in
       if List.for_all Prepost.is_empty diffs then Error No_object_changes

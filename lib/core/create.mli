@@ -28,15 +28,30 @@ type created = {
   diffs : Prepost.unit_diff list;  (** per patched unit *)
 }
 
-(** [create ?build_options ?domains request] builds the update.
+(** [create ?build_options ?domains ?store request] builds the update.
     [build_options] defaults to {!Minic.Driver.pre_build} (function
     sections on — required for the differencing to be per-function).
     [domains] bounds the domain pool used for unit compilation and
     pre/post differencing (default {!Parallel.default_domains}; [1]
     forces a fully serial creation); parallel and serial creation
-    produce identical updates. *)
+    produce identical updates.
+
+    Creation is {e incremental} through [store] (default
+    {!Store.default}): pre and post unit objects are interned by digest,
+    a unit whose pre and post objects are byte-identical skips
+    differencing entirely, and a (pre, post) digest pair already
+    differenced in this store reuses the cached result. Incremental and
+    from-scratch creation produce byte-identical updates. *)
 val create :
   ?build_options:Minic.Driver.options ->
   ?domains:int ->
+  ?store:Store.t ->
   request ->
   (created, error) result
+
+(** Units whose differencing was skipped (equal pre/post digests or a
+    cached diff) since the last {!reset_creation_stats} — mirrored as the
+    [store.create.skipped_units] trace counter. *)
+val skipped_units : unit -> int
+
+val reset_creation_stats : unit -> unit

@@ -1,7 +1,12 @@
 module Tree = Patchfmt.Source_tree
 module Diff = Patchfmt.Diff
 
-type t = { dir : string }
+type t = {
+  dir : string;
+  store : Store.t;
+}
+
+let store t = t.store
 
 type entry = {
   base_digest : string;
@@ -10,90 +15,136 @@ type entry = {
   update : Update.t;
 }
 
-exception Repo_error of string
+type error =
+  | Not_a_directory of string
+  | Already_published of string
+  | Patch_rejected of string
+  | Corrupt_entry of { digest : string; reason : string }
+  | Chain_cycle of string
+  | Update_apply_failed of { update_id : string; reason : string }
+  | Source_patch_failed of { update_id : string; reason : string }
 
-let err fmt = Format.kasprintf (fun m -> raise (Repo_error m)) fmt
+let pp_error ppf = function
+  | Not_a_directory d -> Format.fprintf ppf "%s is not a directory" d
+  | Already_published d ->
+    Format.fprintf ppf
+      "an update for source state %s is already published (chains are \
+       linear)"
+      d
+  | Patch_rejected m ->
+    Format.fprintf ppf "patch does not apply to the published source: %s" m
+  | Corrupt_entry { digest; reason } ->
+    Format.fprintf ppf "corrupt repository entry for source state %s: %s"
+      digest reason
+  | Chain_cycle d ->
+    Format.fprintf ppf "repository chain contains a cycle at %s" d
+  | Update_apply_failed { update_id; reason } ->
+    Format.fprintf ppf "update %s failed: %s" update_id reason
+  | Source_patch_failed { update_id; reason } ->
+    Format.fprintf ppf
+      "local source does not take the patch of update %s: %s" update_id
+      reason
 
 let open_dir dir =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
-  else if not (Sys.is_directory dir) then err "%s is not a directory" dir;
-  { dir }
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    Error (Not_a_directory dir)
+  else
+    match Store.create ~name:"repo" ~capacity:256 ~dir () with
+    | s -> Ok { dir; store = s }
+    | exception Invalid_argument _ -> Error (Not_a_directory dir)
 
-let entry_path t digest = Filename.concat t.dir (digest ^ ".entry")
+(* Entries live in the content-addressed store: the blob below is keyed
+   by its own digest and the mutable ref ["entry:<base_digest>"] points
+   at it — reading re-digests the blob, so truncation or bit-flips
+   surface as [Corrupt_entry], never as a parse crash. The update inside
+   is serialised store-backed (KSPL2), so every entry of a chain shares
+   one physical copy of each common helper object. *)
 
-let magic = "KSPLREPO1"
+let entry_magic = "KSPLREPO2"
+let entry_ref digest = "entry:" ^ digest
 
-let write_entry t (e : entry) =
+let encode_entry store (e : entry) =
   let b = Buffer.create 4096 in
   let put_str s =
     Buffer.add_int32_le b (Int32.of_int (String.length s));
     Buffer.add_string b s
   in
-  Buffer.add_string b magic;
+  Buffer.add_string b entry_magic;
   put_str e.base_digest;
   put_str e.next_digest;
   put_str e.patch_text;
-  put_str (Bytes.to_string (Update.to_bytes e.update));
-  let oc = open_out_bin (entry_path t e.base_digest) in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Buffer.output_buffer oc b)
+  put_str (Bytes.to_string (Update.to_bytes_store store e.update));
+  Buffer.contents b
+
+let decode_entry store ~digest raw =
+  let fail reason = Error (Corrupt_entry { digest; reason }) in
+  let mlen = String.length entry_magic in
+  if String.length raw < mlen || String.sub raw 0 mlen <> entry_magic then
+    fail "bad entry magic"
+  else begin
+    let pos = ref mlen in
+    let get_str () =
+      if !pos + 4 > String.length raw then failwith "truncated entry";
+      let n = Int32.to_int (String.get_int32_le raw !pos) in
+      pos := !pos + 4;
+      if n < 0 || !pos + n > String.length raw then failwith "truncated entry";
+      let s = String.sub raw !pos n in
+      pos := !pos + n;
+      s
+    in
+    match
+      let base_digest = get_str () in
+      let next_digest = get_str () in
+      let patch_text = get_str () in
+      let update_bytes = get_str () in
+      (base_digest, next_digest, patch_text, update_bytes)
+    with
+    | exception Failure m -> fail m
+    | base_digest, next_digest, patch_text, update_bytes -> (
+      match Update.of_bytes_store store (Bytes.of_string update_bytes) with
+      | Error m -> fail m
+      | Ok update -> Ok { base_digest; next_digest; patch_text; update })
+  end
 
 let read_entry t digest =
-  let path = entry_path t digest in
-  if not (Sys.file_exists path) then None
-  else begin
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let len = in_channel_length ic in
-        let raw = really_input_string ic len in
-        if
-          String.length raw < String.length magic
-          || String.sub raw 0 (String.length magic) <> magic
-        then err "%s: bad repository entry" path;
-        let pos = ref (String.length magic) in
-        let get_str () =
-          if !pos + 4 > String.length raw then err "%s: truncated" path;
-          let n = Int32.to_int (String.get_int32_le raw !pos) in
-          pos := !pos + 4;
-          if n < 0 || !pos + n > String.length raw then
-            err "%s: truncated" path;
-          let s = String.sub raw !pos n in
-          pos := !pos + n;
-          s
-        in
-        let base_digest = get_str () in
-        let next_digest = get_str () in
-        let patch_text = get_str () in
-        let update = Update.of_bytes (Bytes.of_string (get_str ())) in
-        Some { base_digest; next_digest; patch_text; update })
-  end
+  match Store.find_ref t.store (entry_ref digest) with
+  | None -> Ok None
+  | Some blob_digest -> (
+    match Store.load t.store blob_digest with
+    | Error `Missing ->
+      Error
+        (Corrupt_entry
+           { digest; reason = "entry blob " ^ blob_digest ^ " is missing" })
+    | Error (`Corrupt reason) -> Error (Corrupt_entry { digest; reason })
+    | Ok raw ->
+      decode_entry t.store ~digest raw |> Result.map Option.some)
 
 let publish t ~source ~patch ~update =
   let base_digest = Tree.digest source in
-  if Sys.file_exists (entry_path t base_digest) then
-    err "an update for source state %s is already published" base_digest;
-  let next_tree =
+  if Store.find_ref t.store (entry_ref base_digest) <> None then
+    Error (Already_published base_digest)
+  else
     match Diff.apply patch source with
-    | Ok tr -> tr
-    | Error m -> err "patch does not apply to the published source: %s" m
-  in
-  let e =
-    { base_digest; next_digest = Tree.digest next_tree;
-      patch_text = Diff.to_string patch; update }
-  in
-  write_entry t e;
-  e
+    | Error m -> Error (Patch_rejected m)
+    | Ok next_tree ->
+      let e =
+        { base_digest; next_digest = Tree.digest next_tree;
+          patch_text = Diff.to_string patch; update }
+      in
+      ignore
+        (Store.remember t.store ~key:(entry_ref base_digest)
+           (encode_entry t.store e)
+          : Store.digest);
+      Ok e
 
 let pending t ~digest =
   let rec walk digest acc seen =
-    if List.mem digest seen then err "repository chain contains a cycle"
+    if List.mem digest seen then Error (Chain_cycle digest)
     else
       match read_entry t digest with
-      | None -> List.rev acc
-      | Some e -> walk e.next_digest (e :: acc) (digest :: seen)
+      | Error err -> Error err
+      | Ok None -> Ok (List.rev acc)
+      | Ok (Some e) -> walk e.next_digest (e :: acc) (digest :: seen)
   in
   walk digest [] []
 
@@ -103,22 +154,29 @@ type sync_report = {
 }
 
 let sync t mgr ~source =
-  let chain = pending t ~digest:(Tree.digest source) in
-  let rec go source applied = function
-    | [] -> Ok { applied = List.rev applied; new_source = source }
-    | e :: rest -> (
-      match Apply.apply mgr e.update with
-      | Error ae ->
-        Error
-          (Format.asprintf "update %s failed: %a" e.update.Update.update_id
-             Apply.pp_error ae)
-      | Ok _ -> (
-        match Diff.parse e.patch_text with
-        | Error m -> Error ("corrupt patch in repository: " ^ m)
-        | Ok patch -> (
-          match Diff.apply patch source with
-          | Error m -> Error ("local source does not take the patch: " ^ m)
-          | Ok source' ->
-            go source' (e.update.Update.update_id :: applied) rest)))
-  in
-  go source [] chain
+  (* the whole chain is fetched and digest-verified before any update is
+     applied: a corrupt entry anywhere leaves the machine untouched *)
+  match pending t ~digest:(Tree.digest source) with
+  | Error err -> Error err
+  | Ok chain ->
+    let rec go source applied = function
+      | [] -> Ok { applied = List.rev applied; new_source = source }
+      | e :: rest -> (
+        let update_id = e.update.Update.update_id in
+        match Apply.apply mgr e.update with
+        | Error ae ->
+          Error
+            (Update_apply_failed
+               { update_id; reason = Format.asprintf "%a" Apply.pp_error ae })
+        | Ok _ -> (
+          match Diff.parse e.patch_text with
+          | Error m ->
+            Error
+              (Source_patch_failed
+                 { update_id; reason = "corrupt patch in repository: " ^ m })
+          | Ok patch -> (
+            match Diff.apply patch source with
+            | Error m -> Error (Source_patch_failed { update_id; reason = m })
+            | Ok source' -> go source' (update_id :: applied) rest)))
+    in
+    go source [] chain

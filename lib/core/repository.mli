@@ -3,15 +3,24 @@
     People who subscribe their systems to these updates would be able to
     transparently receive kernel hot updates."
 
-    A repository is a directory of entries keyed by the digest of the
-    kernel source they apply to. Each entry carries the update file plus
-    the source patch, so a subscriber can advance its local
-    previously-patched source (needed both to verify the chain and to
-    create further updates, §5.4). Subscribing walks the chain from the
-    subscriber's current digest, applying every pending update in order —
-    the paper's "without any ongoing effort from users" flow. *)
+    A repository is a directory-backed {!Store.t}: each published entry
+    is a content-addressed blob, and the mutable ref
+    ["entry:<base_digest>"] maps a source state to its entry. Every read
+    re-digests the blob, so a truncated or bit-flipped entry surfaces as
+    a clean {!Corrupt_entry} result, never a crash. The update inside an
+    entry is serialised store-backed ({!Update.to_bytes_store}), so the
+    entries of a chain share one physical copy of each common helper
+    object. Each entry carries the update plus the source patch, so a
+    subscriber can advance its local previously-patched source (needed
+    both to verify the chain and to create further updates, §5.4).
+    Subscribing walks the chain from the subscriber's current digest,
+    applying every pending update in order — the paper's "without any
+    ongoing effort from users" flow. *)
 
 type t
+
+(** The artifact store holding this repository's entries and objects. *)
+val store : t -> Store.t
 
 (** An update published against a particular source state. *)
 type entry = {
@@ -21,22 +30,35 @@ type entry = {
   update : Update.t;
 }
 
-exception Repo_error of string
+type error =
+  | Not_a_directory of string
+  | Already_published of string
+      (** an entry for this source digest already exists (linear chains
+          only) *)
+  | Patch_rejected of string
+      (** the patch does not apply to the published source *)
+  | Corrupt_entry of { digest : string; reason : string }
+      (** the entry for [digest] failed the re-digest check or does not
+          parse *)
+  | Chain_cycle of string
+  | Update_apply_failed of { update_id : string; reason : string }
+  | Source_patch_failed of { update_id : string; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
 
 (** [open_dir dir] opens (creating if needed) a repository directory. *)
-val open_dir : string -> t
+val open_dir : string -> (t, error) result
 
 (** [publish repo ~source ~patch ~update] records [update] as the next
-    hop from [source]; returns the entry. @raise Repo_error if an entry
-    for this source digest already exists (linear chains only) or the
-    patch does not apply. *)
+    hop from [source]; returns the entry. *)
 val publish :
   t -> source:Patchfmt.Source_tree.t -> patch:Patchfmt.Diff.t ->
-  update:Update.t -> entry
+  update:Update.t -> (entry, error) result
 
 (** [pending repo ~digest] is the chain of entries starting at [digest],
-    oldest first (empty when up to date). *)
-val pending : t -> digest:string -> entry list
+    oldest first (empty when up to date). Every entry on the chain is
+    digest-verified as it is read. *)
+val pending : t -> digest:string -> (entry list, error) result
 
 (** Outcome of one subscriber synchronisation. *)
 type sync_report = {
@@ -46,8 +68,10 @@ type sync_report = {
 
 (** [sync repo mgr ~source] fetches and applies every update pending for
     the subscriber whose running kernel was built from [source]
-    (possibly already patched), keeping the local source in step.
-    Stops at the first failure. *)
+    (possibly already patched), keeping the local source in step. The
+    whole chain is fetched and verified {e before} any update is applied,
+    so a corrupt entry leaves the machine untouched; application errors
+    stop at the first failure. *)
 val sync :
   t -> Apply.t -> source:Patchfmt.Source_tree.t ->
-  (sync_report, string) result
+  (sync_report, error) result

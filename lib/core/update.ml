@@ -92,8 +92,13 @@ let get_pair r =
 let of_bytes buf =
   let r = { buf; pos = 0 } in
   need r (String.length magic);
-  if Bytes.sub_string buf 0 (String.length magic) <> magic then
-    failwith "Update: bad magic";
+  (match Bytes.sub_string buf 0 (String.length magic) with
+  | m when String.equal m magic -> ()
+  | "KSPL2" ->
+    failwith
+      "Update: store-backed KSPL2 file; decode it with of_bytes_store \
+       against the artifact store it was written through"
+  | _ -> failwith "Update: bad magic");
   r.pos <- String.length magic;
   let update_id = get_str r in
   let description = get_str r in
@@ -104,6 +109,63 @@ let of_bytes buf =
   let primary_sym_units = get_list r get_pair in
   { update_id; description; patched_units; replaced_functions; primary;
     helpers; primary_sym_units }
+
+(* --- store-backed serialisation (KSPL2) ---
+
+   Object payloads (the primary and every helper) are interned in the
+   artifact store and the file carries only their digests, so stacked
+   updates sharing a base kernel share one physical copy of each common
+   helper. The KSPL1 reader above stays authoritative for self-contained
+   files; [of_bytes_store] accepts both formats. *)
+
+let store_magic = "KSPL2"
+
+let intern_obj store o =
+  Store.put store (Bytes.to_string (Objfile.to_bytes o))
+
+let to_bytes_store store u =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b store_magic;
+  put_str b u.update_id;
+  put_str b u.description;
+  put_list b put_str u.patched_units;
+  put_list b put_pair u.replaced_functions;
+  put_str b (intern_obj store u.primary);
+  put_list b put_str (List.map (intern_obj store) u.helpers);
+  put_list b put_pair u.primary_sym_units;
+  Buffer.to_bytes b
+
+let of_bytes_store store buf =
+  let mlen = String.length store_magic in
+  if Bytes.length buf >= mlen && Bytes.sub_string buf 0 mlen = magic then
+    (* self-contained legacy file: no store needed *)
+    match of_bytes buf with
+    | u -> Ok u
+    | exception Failure m -> Error m
+  else if Bytes.length buf < mlen || Bytes.sub_string buf 0 mlen <> store_magic
+  then Error "Update: bad magic"
+  else
+    let fetch_obj d =
+      match Store.load store d with
+      | Ok raw -> Objfile.of_bytes (Bytes.of_string raw)
+      | Error `Missing ->
+        failwith ("Update: object " ^ d ^ " is not in the artifact store")
+      | Error (`Corrupt m) -> failwith ("Update: corrupt object: " ^ m)
+    in
+    match
+      let r = { buf; pos = mlen } in
+      let update_id = get_str r in
+      let description = get_str r in
+      let patched_units = get_list r get_str in
+      let replaced_functions = get_list r get_pair in
+      let primary = fetch_obj (get_str r) in
+      let helpers = get_list r get_str |> List.map fetch_obj in
+      let primary_sym_units = get_list r get_pair in
+      { update_id; description; patched_units; replaced_functions; primary;
+        helpers; primary_sym_units }
+    with
+    | u -> Ok u
+    | exception Failure m -> Error m
 
 let write_file path u =
   let oc = open_out_bin path in

@@ -35,8 +35,24 @@ val canonical :
 (** [split_canonical n] recovers [(original_name, unit option)]. *)
 val split_canonical : string -> string * string option
 
+(** Self-contained serialisation (format [KSPL1]): every object payload
+    is embedded. [of_bytes] raises [Failure] on malformed input, and
+    refuses store-backed [KSPL2] files with a message naming
+    {!of_bytes_store}. *)
+
 val to_bytes : t -> Bytes.t
 val of_bytes : Bytes.t -> t
+
+(** Store-backed serialisation (format [KSPL2]): the primary and helper
+    objects are interned in the artifact store and the file carries only
+    their digests, so stacked updates sharing a base kernel share one
+    physical copy of each common helper. [of_bytes_store] reads both
+    formats — a [KSPL1] file decodes without touching the store; a
+    [KSPL2] file resolves its digests through [store], failing cleanly if
+    a referenced blob is missing or corrupt. *)
+
+val to_bytes_store : Store.t -> t -> Bytes.t
+val of_bytes_store : Store.t -> Bytes.t -> (t, string) result
 
 val write_file : string -> t -> unit
 val read_file : string -> t

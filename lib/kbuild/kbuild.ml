@@ -14,15 +14,14 @@ exception Build_error of string
 let err fmt = Format.kasprintf (fun m -> raise (Build_error m)) fmt
 
 (* Content-addressed compile cache: (digest(source), options fingerprint)
-   -> compiled unit. Makes the post build recompile only patched units,
-   and shares the pre build across every update created in one process.
-
-   The table is mutex-guarded (parallel [build_tree] compiles units on
-   several domains) and bounded: least-recently-used entries are evicted
-   once [cache_capacity] is exceeded, so unrelated builds cannot grow it
-   without limit. Compilation itself happens outside the lock; when two
-   domains race to compile the same key, the first insertion wins and
-   both callers share one physical artifact. *)
+   -> compiled unit, backed by the shared artifact store ({!Store}). The
+   store supplies the mutex-guarded LRU discipline and the hit/miss/
+   eviction accounting (mirrored as [store.kbuild.*] trace counters);
+   this module contributes only the cache key and the unit codec.
+   Compilation happens outside the store's lock; when two domains race to
+   compile the same key, both intern byte-identical encodings (builds are
+   deterministic), so the blob dedups and every caller shares one
+   physical artifact. *)
 
 type cache_stats = {
   hits : int;
@@ -32,83 +31,93 @@ type cache_stats = {
   capacity : int;
 }
 
-type centry = {
-  cu : unit_build;
-  mutable last_used : int;
-}
+let the_store = Store.create ~name:"kbuild" ~capacity:1024 ()
+let store () = the_store
 
-let cache : (string, centry) Hashtbl.t = Hashtbl.create 256
-let cache_m = Mutex.create ()
-let cache_clock = ref 0
-let cache_capacity = ref 1024
-let c_hits = ref 0
-let c_misses = ref 0
-let c_evictions = ref 0
-
-let evict_locked () =
-  while Hashtbl.length cache > !cache_capacity do
-    let victim =
-      Hashtbl.fold
-        (fun k e acc ->
-          match acc with
-          | Some (_, stamp) when stamp <= e.last_used -> acc
-          | _ -> Some (k, e.last_used))
-        cache None
-    in
-    match victim with
-    | Some (k, _) ->
-      Hashtbl.remove cache k;
-      incr c_evictions
-    | None -> ()
-  done
-
-let set_cache_capacity n =
-  Mutex.lock cache_m;
-  cache_capacity := max 1 n;
-  evict_locked ();
-  Mutex.unlock cache_m
+let set_cache_capacity n = Store.set_capacity the_store n
 
 let cache_stats () =
-  Mutex.lock cache_m;
-  let s =
-    { hits = !c_hits; misses = !c_misses; evictions = !c_evictions;
-      entries = Hashtbl.length cache; capacity = !cache_capacity }
-  in
-  Mutex.unlock cache_m;
-  s
+  let s = Store.stats the_store in
+  {
+    hits = s.Store.hits;
+    misses = s.Store.misses;
+    evictions = s.Store.evictions;
+    entries = s.Store.entries;
+    capacity = s.Store.capacity;
+  }
 
-let reset_cache () =
-  Mutex.lock cache_m;
-  Hashtbl.reset cache;
-  Mutex.unlock cache_m
+let reset_cache () = Store.reset the_store
 
 let options_fingerprint (o : Minic.Driver.options) =
   Printf.sprintf "fs=%b;al=%b;inl=%b;%d;%d" o.codegen.function_sections
     o.codegen.align_loops o.inline_enabled o.auto_inline_max
     o.explicit_inline_max
 
+(* netstring-style framing: "<decimal len>:<bytes>" per field *)
+module Unit_codec = Store.Typed (struct
+  type v = unit_build
+
+  let codec_id = "kbuild-unit/1"
+
+  let put_str b s =
+    Buffer.add_string b (string_of_int (String.length s));
+    Buffer.add_char b ':';
+    Buffer.add_string b s
+
+  let encode u =
+    let b = Buffer.create 1024 in
+    put_str b u.source_name;
+    put_str b (Bytes.to_string (Objfile.to_bytes u.obj));
+    put_str b (string_of_int (List.length u.inline_decisions));
+    List.iter
+      (fun (d : Minic.Inline.decision) ->
+        put_str b d.caller;
+        put_str b d.callee)
+      u.inline_decisions;
+    Buffer.contents b
+
+  let decode s =
+    let pos = ref 0 in
+    let fail m = failwith (Printf.sprintf "%s at byte %d" m !pos) in
+    let get_str () =
+      match String.index_from_opt s !pos ':' with
+      | None -> fail "missing length prefix"
+      | Some colon ->
+        let len =
+          match int_of_string_opt (String.sub s !pos (colon - !pos)) with
+          | Some n when n >= 0 -> n
+          | _ -> fail "bad length prefix"
+        in
+        if colon + 1 + len > String.length s then fail "truncated field";
+        pos := colon + 1 + len;
+        String.sub s (colon + 1) len
+    in
+    match
+      let source_name = get_str () in
+      let obj = Objfile.of_bytes (Bytes.of_string (get_str ())) in
+      let n =
+        match int_of_string_opt (get_str ()) with
+        | Some n when n >= 0 -> n
+        | _ -> fail "bad decision count"
+      in
+      let inline_decisions =
+        List.init n (fun _ ->
+            let caller = get_str () in
+            let callee = get_str () in
+            ({ caller; callee } : Minic.Inline.decision))
+      in
+      { source_name; obj; inline_decisions }
+    with
+    | u -> Ok u
+    | exception Failure m -> Error m
+end)
+
 let compile_one ~options path contents =
   let key =
     Digest.to_hex (Digest.string contents)
     ^ "|" ^ path ^ "|" ^ options_fingerprint options
   in
-  let cached =
-    Mutex.lock cache_m;
-    let r =
-      match Hashtbl.find_opt cache key with
-      | Some e ->
-        incr c_hits;
-        incr cache_clock;
-        e.last_used <- !cache_clock;
-        Some e.cu
-      | None ->
-        incr c_misses;
-        None
-    in
-    Mutex.unlock cache_m;
-    r
-  in
-  match cached with
+  match Unit_codec.lookup the_store key with
   | Some u -> u
   | None ->
     let u =
@@ -128,22 +137,7 @@ let compile_one ~options path contents =
           err "%s:%d: %s" path line msg
       end
     in
-    Mutex.lock cache_m;
-    let u =
-      match Hashtbl.find_opt cache key with
-      | Some e ->
-        (* lost a compile race: keep the winner so all builds share one
-           physical artifact per key *)
-        incr cache_clock;
-        e.last_used <- !cache_clock;
-        e.cu
-      | None ->
-        incr cache_clock;
-        Hashtbl.replace cache key { cu = u; last_used = !cache_clock };
-        evict_locked ();
-        u
-    in
-    Mutex.unlock cache_m;
+    ignore (Unit_codec.remember the_store ~key u : Store.digest);
     u
 
 let is_source path =

@@ -46,7 +46,17 @@ val find_unit : build -> string -> unit_build option
     Feeds the §6.3 inlining statistics and the pre-post safety story. *)
 val inlined_callees : build -> (string * string * string) list
 
-(** {2 Compile cache} *)
+(** {2 Compile cache}
+
+    The cache is a handle on a content-addressed {!Store.t} named
+    ["kbuild"]: compiled units are interned as digest-keyed blobs through
+    a versioned codec, the cache key (source digest + path + options
+    fingerprint) is a store ref, and the store supplies the mutex-guarded
+    LRU bound and the statistics below (also mirrored as
+    [store.kbuild.*] {!Trace} counters). *)
+
+(** The artifact store backing the compile cache. *)
+val store : unit -> Store.t
 
 type cache_stats = {
   hits : int;  (** lookups served from the cache (cumulative) *)

@@ -1,0 +1,465 @@
+type digest = string
+
+let digest_of_string s = Digest.to_hex (Digest.string s)
+
+(* decoded-value memo for the Typed functor: each functor application
+   adds its own constructor, so one resident blob can cache at most one
+   decoding per value type that actually touches it *)
+type packed = ..
+
+type centry = {
+  data : string;
+  mutable last_used : int;
+  mutable cached : packed option;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  puts : int;
+  dedup_hits : int;
+  bytes_put : int;
+  bytes_deduped : int;
+  disk_reads : int;
+  disk_writes : int;
+  corrupt : int;
+}
+
+type t = {
+  sname : string;
+  dir : string option;
+  m : Mutex.t;
+  blobs : (digest, centry) Hashtbl.t;
+  mrefs : (string, digest) Hashtbl.t;
+  mutable clock : int;
+  mutable cap : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable puts : int;
+  mutable dedup_hits : int;
+  mutable bytes_put : int;
+  mutable bytes_deduped : int;
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable corrupt : int;
+  (* precomputed trace-counter names: emitters are on cache hot paths *)
+  tc_hits : string;
+  tc_misses : string;
+  tc_evictions : string;
+  tc_dedup : string;
+}
+
+let name t = t.sname
+
+(* --- disk tier layout --- *)
+
+let mkdir_p dir =
+  let rec ensure d =
+    if not (Sys.file_exists d) then begin
+      ensure (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  ensure dir;
+  if not (Sys.is_directory dir) then
+    invalid_arg ("Store: " ^ dir ^ " is not a directory")
+
+let blobs_dir dir = Filename.concat dir "blobs"
+let refs_dir dir = Filename.concat dir "refs"
+let blob_path dir d = Filename.concat (blobs_dir dir) d
+
+(* ref names are arbitrary strings (compile-cache keys contain paths and
+   option fingerprints), so the file is named by the digest of the name
+   and carries the name inside *)
+let ref_path dir rname = Filename.concat (refs_dir dir) (digest_of_string rname)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* write-then-rename: readers never observe a half-written artifact *)
+let write_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let create ?(name = "store") ?(capacity = 1024) ?dir () =
+  (match dir with
+  | None -> ()
+  | Some d ->
+    mkdir_p d;
+    mkdir_p (blobs_dir d);
+    mkdir_p (refs_dir d));
+  {
+    sname = name;
+    dir;
+    m = Mutex.create ();
+    blobs = Hashtbl.create 256;
+    mrefs = Hashtbl.create 64;
+    clock = 0;
+    cap = max 1 capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    puts = 0;
+    dedup_hits = 0;
+    bytes_put = 0;
+    bytes_deduped = 0;
+    disk_reads = 0;
+    disk_writes = 0;
+    corrupt = 0;
+    tc_hits = "store." ^ name ^ ".hits";
+    tc_misses = "store." ^ name ^ ".misses";
+    tc_evictions = "store." ^ name ^ ".evictions";
+    tc_dedup = "store." ^ name ^ ".dedup_hits";
+  }
+
+let default_store = ref None
+let default_m = Mutex.create ()
+
+let default () =
+  Mutex.lock default_m;
+  let t =
+    match !default_store with
+    | Some t -> t
+    | None ->
+      let t = create ~name:"artifacts" ~capacity:8192 () in
+      default_store := Some t;
+      t
+  in
+  Mutex.unlock default_m;
+  t
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.last_used <- t.clock
+
+(* assumes the lock is held *)
+let evict_locked t =
+  while Hashtbl.length t.blobs > t.cap do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, stamp) when stamp <= e.last_used -> acc
+          | _ -> Some (k, e.last_used))
+        t.blobs None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      Hashtbl.remove t.blobs k;
+      t.evictions <- t.evictions + 1;
+      Trace.count t.tc_evictions 1;
+      (* a memory-only store is a cache: refs left dangling by the
+         eviction are dropped with it, bounding the ref table too. With
+         a disk tier the blob is still durable, so refs stay valid. *)
+      if t.dir = None then begin
+        let dangling =
+          Hashtbl.fold
+            (fun rname d acc -> if String.equal d k then rname :: acc else acc)
+            t.mrefs []
+        in
+        List.iter (Hashtbl.remove t.mrefs) dangling
+      end
+  done
+
+let put t blob =
+  let d = digest_of_string blob in
+  locked t (fun () ->
+      t.puts <- t.puts + 1;
+      match Hashtbl.find_opt t.blobs d with
+      | Some e ->
+        touch t e;
+        t.dedup_hits <- t.dedup_hits + 1;
+        t.bytes_deduped <- t.bytes_deduped + String.length blob;
+        Trace.count t.tc_dedup 1
+      | None ->
+        (match t.dir with
+        | Some dir when Sys.file_exists (blob_path dir d) ->
+          (* already durable from an earlier run: a dedup against disk *)
+          t.dedup_hits <- t.dedup_hits + 1;
+          t.bytes_deduped <- t.bytes_deduped + String.length blob;
+          Trace.count t.tc_dedup 1
+        | Some dir ->
+          write_atomic (blob_path dir d) blob;
+          t.disk_writes <- t.disk_writes + 1;
+          t.bytes_put <- t.bytes_put + String.length blob
+        | None -> t.bytes_put <- t.bytes_put + String.length blob);
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.blobs d
+          { data = blob; last_used = t.clock; cached = None };
+        evict_locked t);
+  d
+
+(* assumes the lock is held; counts one hit or miss *)
+let find_entry_locked t d =
+  match Hashtbl.find_opt t.blobs d with
+  | Some e ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Trace.count t.tc_hits 1;
+    Ok e
+  | None -> (
+    let miss err =
+      t.misses <- t.misses + 1;
+      Trace.count t.tc_misses 1;
+      Error err
+    in
+    match t.dir with
+    | None -> miss `Missing
+    | Some dir -> (
+      let path = blob_path dir d in
+      if not (Sys.file_exists path) then miss `Missing
+      else
+        match read_file path with
+        | exception Sys_error m -> miss (`Corrupt ("unreadable blob: " ^ m))
+        | raw ->
+          t.disk_reads <- t.disk_reads + 1;
+          let actual = digest_of_string raw in
+          if not (String.equal actual d) then begin
+            t.corrupt <- t.corrupt + 1;
+            miss
+              (`Corrupt
+                (Printf.sprintf
+                   "blob %s fails the re-digest check (stored bytes hash to \
+                    %s)"
+                   d actual))
+          end
+          else begin
+            t.clock <- t.clock + 1;
+            let e = { data = raw; last_used = t.clock; cached = None } in
+            Hashtbl.replace t.blobs d e;
+            evict_locked t;
+            t.hits <- t.hits + 1;
+            Trace.count t.tc_hits 1;
+            Ok e
+          end))
+
+let load t d =
+  locked t (fun () ->
+      match find_entry_locked t d with
+      | Ok e -> Ok e.data
+      | Error e -> Error e)
+
+let get t d = match load t d with Ok b -> Some b | Error _ -> None
+
+let mem t d =
+  locked t (fun () ->
+      Hashtbl.mem t.blobs d
+      || match t.dir with
+         | None -> false
+         | Some dir -> Sys.file_exists (blob_path dir d))
+
+(* --- refs --- *)
+
+let ref_file_contents rname d = rname ^ "\n" ^ d ^ "\n"
+
+let parse_ref_file raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some i ->
+    let rname = String.sub raw 0 i in
+    let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
+    let d = String.trim rest in
+    if d = "" then None else Some (rname, d)
+
+let set_ref t rname d =
+  locked t (fun () ->
+      Hashtbl.replace t.mrefs rname d;
+      match t.dir with
+      | None -> ()
+      | Some dir -> write_atomic (ref_path dir rname) (ref_file_contents rname d))
+
+let find_ref t rname =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.mrefs rname with
+      | Some d -> Some d
+      | None -> (
+        match t.dir with
+        | None -> None
+        | Some dir -> (
+          let path = ref_path dir rname in
+          if not (Sys.file_exists path) then None
+          else
+            match parse_ref_file (read_file path) with
+            | Some (stored, d) when String.equal stored rname ->
+              Hashtbl.replace t.mrefs rname d;
+              Some d
+            | _ -> None)))
+
+let refs t =
+  locked t (fun () ->
+      let acc = Hashtbl.create 64 in
+      (match t.dir with
+      | None -> ()
+      | Some dir ->
+        Array.iter
+          (fun entry ->
+            let path = Filename.concat (refs_dir dir) entry in
+            if
+              (not (Filename.check_suffix entry ".tmp"))
+              && not (Sys.is_directory path)
+            then
+              match parse_ref_file (read_file path) with
+              | Some (rname, d) -> Hashtbl.replace acc rname d
+              | None -> ())
+          (Sys.readdir (refs_dir dir)));
+      (* memory wins: it holds any not-yet-flushed or most recent value *)
+      Hashtbl.iter (Hashtbl.replace acc) t.mrefs;
+      Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* --- cache-style combined ops --- *)
+
+let lookup t key =
+  match find_ref t key with
+  | Some d -> get t d
+  | None ->
+    locked t (fun () ->
+        t.misses <- t.misses + 1;
+        Trace.count t.tc_misses 1);
+    None
+
+let remember t ~key blob =
+  let d = put t blob in
+  set_ref t key d;
+  d
+
+(* --- capacity / lifecycle / stats --- *)
+
+let set_capacity t n =
+  locked t (fun () ->
+      t.cap <- max 1 n;
+      evict_locked t)
+
+let capacity t = locked t (fun () -> t.cap)
+
+let reset t =
+  locked t (fun () ->
+      Hashtbl.reset t.blobs;
+      Hashtbl.reset t.mrefs)
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.blobs;
+        capacity = t.cap;
+        puts = t.puts;
+        dedup_hits = t.dedup_hits;
+        bytes_put = t.bytes_put;
+        bytes_deduped = t.bytes_deduped;
+        disk_reads = t.disk_reads;
+        disk_writes = t.disk_writes;
+        corrupt = t.corrupt;
+      })
+
+let fingerprint t =
+  let refl = refs t in
+  locked t (fun () ->
+      let digests = Hashtbl.create 256 in
+      Hashtbl.iter (fun d _ -> Hashtbl.replace digests d ()) t.blobs;
+      (match t.dir with
+      | None -> ()
+      | Some dir ->
+        Array.iter
+          (fun entry ->
+            if not (Filename.check_suffix entry ".tmp") then
+              Hashtbl.replace digests entry ())
+          (Sys.readdir (blobs_dir dir)));
+      let sorted =
+        Hashtbl.fold (fun d () l -> d :: l) digests []
+        |> List.sort String.compare
+      in
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun d ->
+          Buffer.add_string b d;
+          Buffer.add_char b '\n')
+        sorted;
+      Buffer.add_string b "--refs--\n";
+      List.iter
+        (fun (rname, d) ->
+          Buffer.add_string b rname;
+          Buffer.add_char b '=';
+          Buffer.add_string b d;
+          Buffer.add_char b '\n')
+        refl;
+      digest_of_string (Buffer.contents b))
+
+(* --- typed codecs --- *)
+
+module type VALUE = sig
+  type v
+
+  val codec_id : string
+  val encode : v -> string
+  val decode : string -> (v, string) result
+end
+
+module Typed (V : VALUE) = struct
+  type packed += P of V.v
+
+  let put t v = put t (V.encode v)
+
+  let get t d =
+    let fast =
+      locked t (fun () ->
+          match find_entry_locked t d with
+          | Ok { cached = Some (P v); _ } -> `Cached v
+          | Ok e -> `Raw e.data
+          | Error err -> `Err err)
+    in
+    match fast with
+    | `Err err ->
+      Error
+        (err
+          :> [ `Missing | `Corrupt of string | `Decode of string ])
+    | `Cached v -> Ok v
+    | `Raw data -> (
+      (* resident but not yet decoded for this type: decode outside the
+         lock, then memoise (last writer wins; values are equal) *)
+      match V.decode data with
+      | Error m -> Error (`Decode (V.codec_id ^ ": " ^ m))
+      | Ok v ->
+        locked t (fun () ->
+            match Hashtbl.find_opt t.blobs d with
+            | Some e -> e.cached <- Some (P v)
+            | None -> ());
+        Ok v)
+
+  let lookup t key =
+    match find_ref t key with
+    | Some d -> ( match get t d with Ok v -> Some v | Error _ -> None)
+    | None ->
+      locked t (fun () ->
+          t.misses <- t.misses + 1;
+          Trace.count t.tc_misses 1);
+      None
+
+  let remember t ~key v =
+    let d = remember t ~key (V.encode v) in
+    (* the encoder round-trips; memoise the original value so hits share
+       one physical artifact *)
+    locked t (fun () ->
+        match Hashtbl.find_opt t.blobs d with
+        | Some e -> e.cached <- Some (P v)
+        | None -> ());
+    d
+end

@@ -1,0 +1,162 @@
+(** Content-addressed artifact store: the one digest-keyed substrate
+    under kbuild's compile cache, incremental update creation, update
+    serialisation, and the distribution repository.
+
+    The whole Ksplice pipeline is digest-shaped — deterministic builds
+    (§4.3), pre-post differencing over object code (§3), linear update
+    chains keyed by source digests (§8) — so artifacts are identified by
+    the digest of their bytes and interned exactly once:
+
+    - {b blobs}: immutable byte strings keyed by their own digest.
+      [put] interns (a repeat is a {e dedup hit}, counted, with the
+      duplicate bytes counted as saved); [get]/[load] retrieve.
+    - {b refs}: mutable names pointing at blob digests (a compile-cache
+      key, a repository chain head) — the only mutable state.
+    - {b typed codecs}: {!Typed} wraps a blob in an encode/decode pair
+      and memoises the decoded value on the in-memory entry, so a cache
+      hit costs no re-decode.
+
+    {b Tiers.} The in-memory tier is mutex-guarded and LRU-bounded with
+    eviction statistics, exactly the discipline of the old kbuild
+    compile cache. An optional on-disk tier ([?dir]) makes blobs and
+    refs durable: writes go to a temporary file and are renamed into
+    place (atomic on POSIX), and every disk read re-digests the bytes —
+    a truncated or bit-flipped blob is reported as [`Corrupt], never
+    returned. With a disk tier, memory eviction never loses data (the
+    next [get] re-reads and re-verifies from disk); without one, the
+    store is a bounded cache and callers must treat a miss as
+    "recompute".
+
+    {b Determinism.} Contents are a pure function of the [put]/[set_ref]
+    history: no wall clocks, no randomness, no process identifiers leak
+    into blobs or refs. Two identical runs produce byte-identical store
+    contents — {!fingerprint} digests the canonical (sorted) contents so
+    tests can assert it.
+
+    Counters are mirrored as {!Trace} counters
+    ([store.<name>.hits/misses/evictions/dedup_hits]) when tracing is
+    enabled. *)
+
+type t
+
+(** Hex digest of a blob's bytes (content address). *)
+type digest = string
+
+val digest_of_string : string -> digest
+
+(** [create ?name ?capacity ?dir ()] makes a store. [name] labels the
+    trace counters (default ["store"]); [capacity] bounds the in-memory
+    tier (default 1024, clamped to at least 1); [dir] roots the
+    persistent tier (created if missing, with [blobs/] and [refs/]
+    underneath). *)
+val create : ?name:string -> ?capacity:int -> ?dir:string -> unit -> t
+
+val name : t -> string
+
+(** The process-wide artifact store shared by update creation and the
+    corpus sweeps (memory-only, capacity 8192). *)
+val default : unit -> t
+
+(** {2 Blobs} *)
+
+(** [put t blob] interns [blob] and returns its digest. Re-interning
+    counts a dedup hit and the duplicate bytes as saved. With a disk
+    tier the blob is also written durably (once). *)
+val put : t -> string -> digest
+
+(** [load t d] retrieves the blob named by [d]: from memory, else from
+    disk with the bytes re-digested — a mismatch is [`Corrupt] (counted),
+    never silently returned. Counts one hit or miss. *)
+val load : t -> digest -> (string, [ `Missing | `Corrupt of string ]) result
+
+(** [get t d] is {!load} with [`Corrupt] collapsed into [None]. *)
+val get : t -> digest -> string option
+
+val mem : t -> digest -> bool
+
+(** {2 Refs} *)
+
+(** [set_ref t name d] points [name] at blob [d] (persisted when the
+    store has a disk tier). *)
+val set_ref : t -> string -> digest -> unit
+
+val find_ref : t -> string -> digest option
+
+(** All refs, sorted by name. *)
+val refs : t -> (string * digest) list
+
+(** {2 Cache-style combined operations} *)
+
+(** [lookup t key] resolves ref [key] and loads its blob, counting one
+    hit (both succeed) or one miss. *)
+val lookup : t -> string -> string option
+
+(** [remember t ~key blob] interns [blob] and points ref [key] at it. *)
+val remember : t -> key:string -> string -> digest
+
+(** {2 Capacity and lifecycle} *)
+
+(** Bounds the in-memory tier to [max 1 n] entries, evicting
+    least-recently-used entries immediately if over. In a memory-only
+    store, refs left dangling by an eviction are dropped with it. *)
+val set_capacity : t -> int -> unit
+
+val capacity : t -> int
+
+(** Drops every in-memory blob and ref. Counters are kept (cumulative
+    process-level statistics); the disk tier is untouched. *)
+val reset : t -> unit
+
+(** {2 Statistics} *)
+
+type stats = {
+  hits : int;  (** lookups served (memory or verified disk) *)
+  misses : int;  (** lookups that found nothing *)
+  evictions : int;  (** memory entries dropped by the LRU bound *)
+  entries : int;  (** memory entries resident now *)
+  capacity : int;  (** memory-tier bound *)
+  puts : int;  (** blob interns requested *)
+  dedup_hits : int;  (** interns that found the blob already present *)
+  bytes_put : int;  (** bytes of distinct blobs accepted *)
+  bytes_deduped : int;  (** duplicate bytes never stored again *)
+  disk_reads : int;
+  disk_writes : int;
+  corrupt : int;  (** disk blobs rejected by the re-digest check *)
+}
+
+val stats : t -> stats
+
+(** Digest of the canonical store contents: the sorted set of blob
+    digests (memory and disk) plus the sorted refs. Two runs that
+    performed the same puts and ref writes — in any order — fingerprint
+    identically. *)
+val fingerprint : t -> digest
+
+(** {2 Typed codecs} *)
+
+module type VALUE = sig
+  type v
+
+  (** Versioned codec label, e.g. ["kbuild-unit/1"]. *)
+  val codec_id : string
+
+  val encode : v -> string
+  val decode : string -> (v, string) result
+end
+
+(** Blob access through a codec, with the decoded value memoised on the
+    in-memory entry (a second [get]/[lookup] of the same resident blob
+    re-decodes nothing). Apply the functor once per value type. *)
+module Typed (V : VALUE) : sig
+  val put : t -> V.v -> digest
+
+  val get :
+    t -> digest ->
+    (V.v, [ `Missing | `Corrupt of string | `Decode of string ]) result
+
+  (** [lookup t key] is ref-resolve + typed load, counting one hit or
+      miss; a decode failure yields [None]. *)
+  val lookup : t -> string -> V.v option
+
+  val remember : t -> key:string -> V.v -> digest
+end

@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "ksplice-repro"
-    (Test_isa.suite @ Test_objfile.suite @ Test_asm.suite @ Test_patchfmt.suite @ Test_minic.suite @ Test_typecheck.suite @ Test_ksplice.suite @ Test_kbuild.suite @ Test_klink.suite @ Test_kernel.suite @ Test_runpre.suite @ Test_prepost.suite @ Test_properties.suite @ Test_objdump.suite @ Test_baseline.suite @ Test_apply_edge.suite @ Test_frag_props.suite @ Test_update_format.suite @ Test_repository.suite @ Test_corpus.suite @ Test_faultinj.suite @ Test_manager.suite @ Test_parallel.suite @ Test_report.suite @ Test_trace.suite)
+    (Test_isa.suite @ Test_objfile.suite @ Test_asm.suite @ Test_patchfmt.suite @ Test_minic.suite @ Test_typecheck.suite @ Test_ksplice.suite @ Test_kbuild.suite @ Test_klink.suite @ Test_kernel.suite @ Test_runpre.suite @ Test_prepost.suite @ Test_properties.suite @ Test_objdump.suite @ Test_baseline.suite @ Test_apply_edge.suite @ Test_frag_props.suite @ Test_update_format.suite @ Test_store.suite @ Test_repository.suite @ Test_corpus.suite @ Test_faultinj.suite @ Test_manager.suite @ Test_parallel.suite @ Test_report.suite @ Test_trace.suite)

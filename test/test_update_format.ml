@@ -79,6 +79,67 @@ let test_deserialised_update_applies () =
   Alcotest.(check bool) "exploit blocked by deserialised update" false
     (e.run b).succeeded
 
+(* --- store-backed (KSPL2) serialisation --- *)
+
+let test_store_roundtrip_all () =
+  let store = Store.create ~name:"upd-test" () in
+  List.iter
+    (fun (u : Update.t) ->
+      let b = Update.to_bytes_store store u in
+      match Update.of_bytes_store store b with
+      | Error m -> Alcotest.failf "%s: %s" u.update_id m
+      | Ok u' ->
+        Alcotest.(check string) (u.update_id ^ " id") u.update_id u'.update_id;
+        Alcotest.(check bool)
+          (u.update_id ^ " primary bytes")
+          true
+          (Bytes.equal (Objfile.to_bytes u.primary)
+             (Objfile.to_bytes u'.primary));
+        Alcotest.(check bool)
+          (u.update_id ^ " helper bytes")
+          true
+          (List.for_all2
+             (fun h h' ->
+               Bytes.equal (Objfile.to_bytes h) (Objfile.to_bytes h'))
+             u.helpers u'.helpers))
+    (Lazy.force corpus_updates)
+
+let test_store_dedups_helpers () =
+  (* corpus updates share the base kernel: serialising them all through
+     one store must intern each common helper object exactly once *)
+  let store = Store.create ~name:"upd-dedup" () in
+  let updates = Lazy.force corpus_updates in
+  List.iter (fun u -> ignore (Update.to_bytes_store store u)) updates;
+  let st = Store.stats store in
+  Alcotest.(check bool) "helpers dedup across updates" true
+    (st.Store.dedup_hits > 0 && st.Store.bytes_deduped > 0)
+
+let test_legacy_readable_by_store_reader () =
+  let store = Store.create ~name:"upd-legacy" () in
+  let u = List.hd (Lazy.force corpus_updates) in
+  match Update.of_bytes_store store (Update.to_bytes u) with
+  | Ok u' -> Alcotest.(check string) "id" u.update_id u'.update_id
+  | Error m -> Alcotest.failf "KSPL1 must stay readable: %s" m
+
+let test_plain_reader_refuses_kspl2 () =
+  let store = Store.create ~name:"upd-refuse" () in
+  let u = List.hd (Lazy.force corpus_updates) in
+  let b = Update.to_bytes_store store u in
+  (match Update.of_bytes b with
+  | _ -> Alcotest.fail "of_bytes must refuse KSPL2"
+  | exception Failure m ->
+    let needle = "of_bytes_store" in
+    let rec has i =
+      i + String.length needle <= String.length m
+      && (String.sub m i (String.length needle) = needle || has (i + 1))
+    in
+    Alcotest.(check bool) "message names of_bytes_store" true (has 0));
+  (* a KSPL2 file against a store missing its blobs fails cleanly *)
+  let empty = Store.create ~name:"upd-empty" () in
+  match Update.of_bytes_store empty b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a missing-blob error"
+
 let suite =
   [
     ( "update-format",
@@ -86,5 +147,10 @@ let suite =
         t "roundtrip all corpus updates" test_roundtrip_all;
         t "corruption rejected" test_corruption_rejected;
         t "deserialised update applies" test_deserialised_update_applies;
+        t "store-backed roundtrip (KSPL2)" test_store_roundtrip_all;
+        t "store dedups shared helpers" test_store_dedups_helpers;
+        t "legacy KSPL1 readable by store reader"
+          test_legacy_readable_by_store_reader;
+        t "plain reader refuses KSPL2" test_plain_reader_refuses_kspl2;
       ] );
   ]
