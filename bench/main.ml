@@ -20,6 +20,7 @@
      R  — §4.3 robustness across build modes
      CS — creation sweep: serial vs domain-parallel update creation
      ST — store sweep: cold vs warm creation through the artifact store
+     CR — crash sweep: publish killed at every I/O op, recovery verified
      P  — Bechamel: apply pause, trampoline overhead, run-pre matching,
           update creation *)
 
@@ -263,7 +264,7 @@ let symbol_stats () =
 
 let inline_stats () =
   section "Inlining statistics (paper 6.3: 20/64 inlined, 4/64 explicit)";
-  let run_build = Kbuild.build_tree ~options:Minic.Driver.run_build base in
+  let run_build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build base in
   let inlined = Kbuild.inlined_callees run_build in
   let inlined_in unit f =
     List.exists (fun (u, _, callee) -> u = unit && callee = f) inlined
@@ -575,7 +576,7 @@ let creation_sweep ?(cves = Corpus.Cve.all) () =
   (* warm the shared pre build once so the concurrent creates hit the
      compile cache instead of racing to rebuild the same units *)
   ignore
-    (Kbuild.build_tree ~domains:nd ~options:Minic.Driver.pre_build base
+    (Kbuild.build_tree_exn ~domains:nd ~options:Minic.Driver.pre_build base
       : Kbuild.build);
   let par_ups =
     Parallel.map ~domains:nd
@@ -733,6 +734,61 @@ let trace_overhead ?(cves = Corpus.Cve.all) () =
     Printf.printf "*** TRACING OVERHEAD %.2fx EXCEEDS %.2fx BUDGET ***\n"
       overhead trace_overhead_budget
 
+(* ---------- CR: crash-recovery sweep ---------- *)
+
+module Repo = Ksplice.Repository
+
+(* (report, wall seconds to reopen one mid-publish-crashed repository) *)
+let crash_result : (Corpus.Sweep.crash_report * float) option ref = ref None
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let crash_sweep ?cves () =
+  section "Crash-recovery sweep: publish killed at every mutating I/O op";
+  let cves =
+    match cves with Some c -> c | None -> Corpus.Sweep.crash_sample ()
+  in
+  let report =
+    Corpus.Sweep.run_crash ~seed:0 ~cves ~domains:(par_domains ()) ()
+  in
+  print_string (Format.asprintf "%a" Corpus.Sweep.pp_crash report);
+  if not (Corpus.Sweep.crash_ok report) then
+    print_endline "*** CRASH SWEEP FAILED: persistence contract violated ***";
+  (* clock one recovery: crash a publish partway through its blob puts,
+     then time the reopen that replays the journal and sweeps the debris *)
+  let cve = List.hd cves in
+  let dir = Filename.temp_file "kspl-bench-crash" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let patch = Corpus.Cve.hot_patch cve base in
+      let update = (create_cve_exn cve).update in
+      let vfs, _ =
+        Vfs.inject { Vfs.at = 12; kind = Vfs.Crash; seed = 0 } Vfs.real
+      in
+      (match Repo.open_dir ~vfs dir with
+       | Error e ->
+         Format.kasprintf failwith "crash bench open: %a" Repo.pp_error e
+       | Ok repo -> (
+         match Repo.publish repo ~source:base ~patch ~update with
+         | exception Vfs.Crashed -> ()
+         | Ok _ | Error _ -> ()));
+      let t0 = now () in
+      (match Repo.open_dir dir with
+       | Ok _ -> ()
+       | Error e ->
+         Format.kasprintf failwith "crash bench reopen: %a" Repo.pp_error e);
+      let recovery_t = now () -. t0 in
+      crash_result := Some (report, recovery_t);
+      Printf.printf "reopen+recover after a mid-publish crash: %.6f s\n"
+        recovery_t)
+
 (* ---------- P: Bechamel timing ---------- *)
 
 let bechamel_benches ?(quick = false) () =
@@ -812,10 +868,10 @@ let bechamel_benches ?(quick = false) () =
         let tree =
           Patchfmt.Source_tree.of_list [ ("kernel/s.c", mk_unit n) ]
         in
-        let build = Kbuild.build_tree ~options:Minic.Driver.run_build tree in
+        let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
         let img = Image.link ~base:0x100000 (Kbuild.objects build) in
         let m = Machine.create img in
-        let pre = Kbuild.build_tree ~options:Minic.Driver.pre_build tree in
+        let pre = Kbuild.build_tree_exn ~options:Minic.Driver.pre_build tree in
         let helper = List.hd (Kbuild.objects pre) in
         Test.make
           ~name:(Printf.sprintf "run-pre matching, %d-function unit" n)
@@ -970,6 +1026,22 @@ let emit_bench_json ~mode () =
                 ("identical", Bool identical);
                 ("records", num records);
               ] );
+        ( "crash_recovery",
+          match !crash_result with
+          | None -> Null
+          | Some ((r : Corpus.Sweep.crash_report), recovery_t) ->
+            Obj
+              [
+                ("cves", num (List.length r.c_rows));
+                ("cells", num r.c_cells);
+                ("published", num r.c_published);
+                ("absent", num r.c_absent);
+                ("violations", num r.c_violations);
+                ("gc_swept", num r.c_gc_swept);
+                ("gc_reclaimed_bytes", num r.c_gc_bytes);
+                ("recovery_s", Num recovery_t);
+                ("ok", Bool (Corpus.Sweep.crash_ok r));
+              ] );
       ]
   in
   let oc = open_out !out_path in
@@ -1004,6 +1076,8 @@ let () =
     timed "manager_sweep" (fun () ->
         manager_sweep ~cves:(List.filteri (fun i _ -> i < 4) quick_cves) ());
     timed "trace_overhead" (fun () -> trace_overhead ~cves:quick_cves ());
+    timed "crash_sweep" (fun () ->
+        crash_sweep ~cves:(List.filteri (fun i _ -> i < 2) quick_cves) ());
     timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
   end
   else begin
@@ -1023,6 +1097,7 @@ let () =
     timed "creation_sweep" (fun () -> creation_sweep ());
     timed "store_sweep" (fun () -> store_sweep ());
     timed "trace_overhead" (fun () -> trace_overhead ());
+    timed "crash_sweep" (fun () -> crash_sweep ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())
   end;

@@ -346,7 +346,25 @@ let cmd_bench_summary path =
           (%sx, budget %s, within=%s), identical=%s, %s records\n"
          (istr tr "cves") (fstr "untraced_wall_s") (fstr "traced_wall_s")
          (fstr "overhead") (fstr "budget") (bstr "within_budget")
-         (bstr "identical") (istr tr "records"))
+         (bstr "identical") (istr tr "records"));
+    (match J.member "crash_recovery" doc with
+     | None | Some J.Null -> ()
+     | Some cr ->
+       let fstr k =
+         match field cr k J.to_float with
+         | Some f -> Printf.sprintf "%.3f" f
+         | None -> "?"
+       in
+       Printf.printf
+         "crash recovery:       %s CVEs, %s crash points — %s whole, %s \
+          absent, %s violation(s); gc swept %s blob(s) / %s bytes; \
+          recover %s s, ok=%s\n"
+         (istr cr "cves") (istr cr "cells") (istr cr "published")
+         (istr cr "absent") (istr cr "violations") (istr cr "gc_swept")
+         (istr cr "gc_reclaimed_bytes") (fstr "recovery_s")
+         (match J.member "ok" cr with
+          | Some (J.Bool b) -> string_of_bool b
+          | _ -> "?"))
 
 let cmd_fault_sweep cve_ids seed jobs =
   (* every cell intentionally aborts an apply; the per-abort warnings are
@@ -377,6 +395,32 @@ let cmd_fault_sweep cve_ids seed jobs =
   print_newline ();
   Format.printf "%a@." Corpus.Sweep.pp_matrix report;
   if not (Corpus.Sweep.ok report) then exit 1
+
+let cmd_crash_sweep cve_ids seed jobs =
+  let cves =
+    match cve_ids with
+    | [] -> Corpus.Sweep.crash_sample ()
+    | ids ->
+      List.map
+        (fun id ->
+          match Corpus.Cve.find id with
+          | Some c -> c
+          | None ->
+            Printf.eprintf "error: unknown CVE %s (try list-cves)\n" id;
+            exit 1)
+        ids
+  in
+  Printf.printf
+    "crashing a publish at every mutating I/O op for %d CVE(s), seed %d...\n%!"
+    (List.length cves) seed;
+  let report =
+    Corpus.Sweep.run_crash ~seed ~cves ?domains:jobs
+      ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+      ()
+  in
+  print_newline ();
+  Format.printf "%a@." Corpus.Sweep.pp_crash report;
+  if not (Corpus.Sweep.crash_ok report) then exit 1
 
 (* --- the supervised sweep: manager-run / manager-report --- *)
 
@@ -728,6 +772,9 @@ let cmd_store_stats cve_id out =
             ("disk_reads", num s.disk_reads);
             ("disk_writes", num s.disk_writes);
             ("corrupt", num s.corrupt);
+            ("gc_runs", num s.gc_runs);
+            ("gc_collected", num s.gc_collected);
+            ("gc_reclaimed_bytes", num s.gc_reclaimed_bytes);
           ] )
     in
     let doc =
@@ -742,6 +789,59 @@ let cmd_store_stats cve_id out =
         ]
     in
     write_json_or_die ~what:"store-stats" out doc
+
+(* --- fsck / gc: on-disk repository maintenance --- *)
+
+module Repo = Ksplice.Repository
+
+let cmd_fsck dir =
+  (* read-only: open without recovery so damage is reported, not repaired *)
+  match Repo.open_dir ~recover:false dir with
+  | Error e ->
+    Format.eprintf "error: cannot open %s: %a@." dir Repo.pp_error e;
+    exit 2
+  | Ok repo -> (
+    match Repo.fsck repo with
+    | Ok r ->
+      Printf.printf
+        "%s: clean — %d blob(s), %d ref(s), %d chain entr%s\n" dir
+        r.store_report.f_blobs r.store_report.f_refs r.entries_checked
+        (if r.entries_checked = 1 then "y" else "ies")
+    | Error r ->
+      Printf.printf "%s: DAMAGED — %d blob(s), %d ref(s) scanned\n" dir
+        r.store_report.f_blobs r.store_report.f_refs;
+      List.iter
+        (fun issue -> Format.printf "  %a@." Store.pp_fsck_issue issue)
+        r.store_report.f_issues;
+      List.iter
+        (fun (name, reason) ->
+          Printf.printf "  corrupt chain entry %s: %s\n" name reason)
+        r.corrupt_entries;
+      exit 1)
+
+let cmd_gc dir =
+  match Repo.open_dir dir with
+  | Error e ->
+    Format.eprintf "error: cannot open %s: %a@." dir Repo.pp_error e;
+    exit 2
+  | Ok repo ->
+    (match Repo.recovery repo with
+     | None | Some { Store.rolled_forward = 0; rolled_back = 0;
+                     torn_discarded = 0; tmp_removed = 0 } -> ()
+     | Some r ->
+       Printf.printf
+         "recovery: %d rolled forward, %d rolled back, %d torn record(s) \
+          discarded, %d temp file(s) removed\n"
+         r.rolled_forward r.rolled_back r.torn_discarded r.tmp_removed);
+    (match Repo.gc repo with
+     | Error e ->
+       Format.eprintf "error: %a@." Repo.pp_error e;
+       exit 1
+     | Ok g ->
+       Printf.printf
+         "%s: %d live blob(s) kept (%d pinned), %d swept, %d byte(s) \
+          reclaimed\n"
+         dir g.gc_live g.gc_pinned g.gc_swept g.gc_bytes)
 
 (* --- cmdliner wiring --- *)
 
@@ -1001,6 +1101,63 @@ let store_stats_cmd =
       const (fun v c o -> setup_logs v; cmd_store_stats c o)
       $ verbose_t $ trace_cve_t $ trace_out_t)
 
+let crash_sweep_cmd =
+  let cves =
+    Arg.(
+      value & opt_all string []
+      & info [ "cve" ] ~docv:"ID"
+          ~doc:
+            "Sweep only this CVE (repeatable; default: every 8th corpus \
+             CVE).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Torn-write seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Sweep up to $(docv) CVEs concurrently (default: one per core; \
+             1 forces a serial sweep).")
+  in
+  Cmd.v
+    (Cmd.info "crash-sweep"
+       ~doc:
+         "Publish each sampled CVE into an on-disk repository with a hard \
+          crash injected at every mutating I/O operation, then reopen and \
+          verify fsck-clean all-or-nothing recovery and a safe garbage \
+          collection")
+    Term.(
+      const (fun v c s j -> setup_logs v; cmd_crash_sweep c s j)
+      $ verbose_t $ cves $ seed $ jobs)
+
+let repo_dir_t =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"On-disk repository directory.")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check an on-disk repository read-only (blob digests, ref \
+          targets, chain entries, pending journal); nonzero exit on \
+          damage")
+    Term.(const cmd_fsck $ repo_dir_t)
+
+let gc_cmd =
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Recover an on-disk repository if needed, then sweep every blob \
+          unreachable from its refs and chain entries")
+    Term.(const cmd_gc $ repo_dir_t)
+
 let bench_summary_cmd =
   let path =
     Arg.(
@@ -1020,5 +1177,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
-            demo_cmd; fault_sweep_cmd; manager_run_cmd; manager_report_cmd;
-            trace_cmd; metrics_cmd; store_stats_cmd; bench_summary_cmd ]))
+            demo_cmd; fault_sweep_cmd; crash_sweep_cmd; fsck_cmd; gc_cmd;
+            manager_run_cmd; manager_report_cmd; trace_cmd; metrics_cmd;
+            store_stats_cmd; bench_summary_cmd ]))

@@ -180,11 +180,15 @@ let create ?(build_options = Minic.Driver.pre_build) ?domains ?store req =
     match
       (* pre before post, sequentially: the post build then recompiles
          only patched units, everything else hits the compile cache *)
-      ( Kbuild.build_tree ?domains ~options:build_options req.source,
-        Kbuild.build_tree ?domains ~options:build_options post_tree )
+      match Kbuild.build_tree ?domains ~options:build_options req.source with
+      | Error e -> Error e
+      | Ok pre_build -> (
+        match Kbuild.build_tree ?domains ~options:build_options post_tree with
+        | Error e -> Error e
+        | Ok post_build -> Ok (pre_build, post_build))
     with
-    | exception Kbuild.Build_error m -> Error (Build_error m)
-    | pre_build, post_build ->
+    | Error e -> Error (Build_error (Format.asprintf "%a" Kbuild.pp_error e))
+    | Ok (pre_build, post_build) ->
       let patched_units =
         Diff.changed_files req.patch |> List.filter is_source
       in

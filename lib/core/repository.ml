@@ -23,6 +23,8 @@ type error =
   | Chain_cycle of string
   | Update_apply_failed of { update_id : string; reason : string }
   | Source_patch_failed of { update_id : string; reason : string }
+  | Io_failure of { path : string; reason : string }
+  | Gc_unsafe of string
 
 let pp_error ppf = function
   | Not_a_directory d -> Format.fprintf ppf "%s is not a directory" d
@@ -44,14 +46,22 @@ let pp_error ppf = function
     Format.fprintf ppf
       "local source does not take the patch of update %s: %s" update_id
       reason
+  | Io_failure { path; reason } ->
+    Format.fprintf ppf "repository I/O failed on %s: %s" path reason
+  | Gc_unsafe m ->
+    Format.fprintf ppf "garbage collection refused: %s" m
 
-let open_dir dir =
+let open_dir ?vfs ?(recover = true) dir =
   if Sys.file_exists dir && not (Sys.is_directory dir) then
     Error (Not_a_directory dir)
   else
-    match Store.create ~name:"repo" ~capacity:256 ~dir () with
+    match Store.create ~name:"repo" ~capacity:256 ~dir ?vfs ~recover () with
     | s -> Ok { dir; store = s }
     | exception Invalid_argument _ -> Error (Not_a_directory dir)
+    | exception Vfs.Io_error { op; path; reason } ->
+      Error (Io_failure { path; reason = op ^ ": " ^ reason })
+
+let recovery t = Store.recovery t.store
 
 (* Entries live in the content-addressed store: the blob below is keyed
    by its own digest and the mutable ref ["entry:<base_digest>"] points
@@ -76,11 +86,13 @@ let encode_entry store (e : entry) =
   put_str (Bytes.to_string (Update.to_bytes_store store e.update));
   Buffer.contents b
 
-let decode_entry store ~digest raw =
-  let fail reason = Error (Corrupt_entry { digest; reason }) in
+(* (base_digest, next_digest, patch_text, update_bytes), without
+   decoding the update — shared by entry reads and the GC's
+   reachability expansion *)
+let parse_entry_fields raw =
   let mlen = String.length entry_magic in
   if String.length raw < mlen || String.sub raw 0 mlen <> entry_magic then
-    fail "bad entry magic"
+    Error "bad entry magic"
   else begin
     let pos = ref mlen in
     let get_str () =
@@ -99,12 +111,18 @@ let decode_entry store ~digest raw =
       let update_bytes = get_str () in
       (base_digest, next_digest, patch_text, update_bytes)
     with
-    | exception Failure m -> fail m
-    | base_digest, next_digest, patch_text, update_bytes -> (
-      match Update.of_bytes_store store (Bytes.of_string update_bytes) with
-      | Error m -> fail m
-      | Ok update -> Ok { base_digest; next_digest; patch_text; update })
+    | exception Failure m -> Error m
+    | fields -> Ok fields
   end
+
+let decode_entry store ~digest raw =
+  let fail reason = Error (Corrupt_entry { digest; reason }) in
+  match parse_entry_fields raw with
+  | Error reason -> fail reason
+  | Ok (base_digest, next_digest, patch_text, update_bytes) -> (
+    match Update.of_bytes_store store (Bytes.of_string update_bytes) with
+    | Error m -> fail m
+    | Ok update -> Ok { base_digest; next_digest; patch_text; update })
 
 let read_entry t digest =
   match Store.find_ref t.store (entry_ref digest) with
@@ -131,11 +149,18 @@ let publish t ~source ~patch ~update =
         { base_digest; next_digest = Tree.digest next_tree;
           patch_text = Diff.to_string patch; update }
       in
-      ignore
-        (Store.remember t.store ~key:(entry_ref base_digest)
-           (encode_entry t.store e)
-          : Store.digest);
-      Ok e
+      (* all blob puts (entry + interned objects) happen inside the
+         transaction, pinning them against a racing GC; the ref flip
+         goes through the write-ahead journal, so a crash anywhere
+         leaves the publish atomically present or atomically absent *)
+      match
+        Store.with_txn t.store (fun () ->
+            let d = Store.put t.store (encode_entry t.store e) in
+            Store.commit_refs t.store [ (entry_ref base_digest, d) ])
+      with
+      | () -> Ok e
+      | exception Vfs.Io_error { op; path; reason } ->
+        Error (Io_failure { path; reason = op ^ ": " ^ reason })
 
 let pending t ~digest =
   let rec walk digest acc seen =
@@ -180,3 +205,67 @@ let sync t mgr ~source =
             | Ok source' -> go source' (update_id :: applied) rest)))
     in
     go source [] chain
+
+(* --- integrity: fsck and garbage collection --- *)
+
+type fsck_report = {
+  store_report : Store.fsck_report;
+  entries_checked : int;
+  corrupt_entries : (string * string) list;
+}
+
+let fsck t =
+  let store_res = Store.fsck t.store in
+  let store_report = match store_res with Ok r | Error r -> r in
+  let prefix = "entry:" in
+  let plen = String.length prefix in
+  let entries = ref 0 in
+  let corrupt = ref [] in
+  List.iter
+    (fun (rname, _) ->
+      if
+        String.length rname > plen
+        && String.equal (String.sub rname 0 plen) prefix
+      then begin
+        incr entries;
+        let digest = String.sub rname plen (String.length rname - plen) in
+        match read_entry t digest with
+        | Ok (Some _) -> ()
+        | Ok None -> corrupt := (digest, "ref resolves to no entry") :: !corrupt
+        | Error e ->
+          corrupt := (digest, Format.asprintf "%a" pp_error e) :: !corrupt
+      end)
+    (Store.refs t.store);
+  let report =
+    {
+      store_report;
+      entries_checked = !entries;
+      corrupt_entries = List.rev !corrupt;
+    }
+  in
+  if Result.is_ok store_res && report.corrupt_entries = [] then Ok report
+  else Error report
+
+(* reachability out of a blob: a repository entry reaches its serialised
+   update's interned objects; a bare KSPL2 update blob reaches the same;
+   anything else (helper objects themselves) is a leaf *)
+let expand_blob _digest raw =
+  let mlen = String.length entry_magic in
+  let update_bytes =
+    if String.length raw >= mlen && String.sub raw 0 mlen = entry_magic then
+      match parse_entry_fields raw with
+      | Ok (_, _, _, ub) -> Some ub
+      | Error _ -> None
+    else Some raw
+  in
+  match update_bytes with
+  | None -> []
+  | Some ub -> (
+    match Update.store_digests (Bytes.of_string ub) with
+    | Ok ds -> ds
+    | Error _ -> [])
+
+let gc t =
+  match Store.gc ~expand:expand_blob t.store with
+  | Ok r -> Ok r
+  | Error m -> Error (Gc_unsafe m)

@@ -43,11 +43,23 @@ type error =
   | Chain_cycle of string
   | Update_apply_failed of { update_id : string; reason : string }
   | Source_patch_failed of { update_id : string; reason : string }
+  | Io_failure of { path : string; reason : string }
+      (** a disk operation failed (e.g. ENOSPC, unwritable directory);
+          typed, never a raw [Sys_error] *)
+  | Gc_unsafe of string
+      (** the live set could not be verified, so nothing was collected *)
 
 val pp_error : Format.formatter -> error -> unit
 
-(** [open_dir dir] opens (creating if needed) a repository directory. *)
-val open_dir : string -> (t, error) result
+(** [open_dir dir] opens (creating if needed) a repository directory.
+    All disk I/O goes through [vfs] (default {!Vfs.real}; inject a fault
+    plan to simulate crashes). Unless [recover] is [false] (read-only
+    inspection), opening replays the store's write-ahead journal and
+    sweeps orphan temp files — see {!recovery}. *)
+val open_dir : ?vfs:Vfs.t -> ?recover:bool -> string -> (t, error) result
+
+(** What recovery-on-open did, if anything. *)
+val recovery : t -> Store.recovery_report option
 
 (** [publish repo ~source ~patch ~update] records [update] as the next
     hop from [source]; returns the entry. *)
@@ -75,3 +87,26 @@ type sync_report = {
 val sync :
   t -> Apply.t -> source:Patchfmt.Source_tree.t ->
   (sync_report, error) result
+
+(** {2 Integrity} *)
+
+type fsck_report = {
+  store_report : Store.fsck_report;
+  entries_checked : int;  (** published entries decoded end-to-end *)
+  corrupt_entries : (string * string) list;
+      (** (base digest, reason) for entries that failed to decode *)
+}
+
+(** Read-only integrity check: the store-level invariants (blobs
+    re-digest clean, refs resolve, no orphan temp files, no unreplayed
+    journal) plus a full decode of every published entry — the same
+    checks [ksplice-tool fsck] runs. Never modifies the repository. *)
+val fsck : t -> (fsck_report, fsck_report) result
+
+(** Mark-and-sweep garbage collection. Roots are every ref (chain
+    entries and any named refs); reachability closes over each entry's
+    serialised update into the object blobs it shares with other
+    entries. A publish racing the sweep is protected by the store's
+    transaction pinning. Refuses to collect ([Gc_unsafe]) if a blob on a
+    live path is missing or corrupt. *)
+val gc : t -> (Store.gc_report, error) result

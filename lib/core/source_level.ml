@@ -91,14 +91,14 @@ let evaluate ~source ~patch ~image =
       in
       (* inlining decisions in the running kernel *)
       let run_build =
-        Kbuild.build_tree ~options:Minic.Driver.run_build source
+        Kbuild.build_tree_exn ~options:Minic.Driver.run_build source
       in
       let inlined = Kbuild.inlined_callees run_build in
       let pre_build =
-        Kbuild.build_tree ~options:Minic.Driver.pre_build source
+        Kbuild.build_tree_exn ~options:Minic.Driver.pre_build source
       in
       let post_build =
-        Kbuild.build_tree ~options:Minic.Driver.pre_build post_tree
+        Kbuild.build_tree_exn ~options:Minic.Driver.pre_build post_tree
       in
       List.iter
         (fun unit_name ->

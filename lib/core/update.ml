@@ -167,6 +167,28 @@ let of_bytes_store store buf =
     | u -> Ok u
     | exception Failure m -> Error m
 
+(* The store digests a serialised update references, without fetching
+   (or needing) the objects themselves — the GC's reachability edge. A
+   self-contained KSPL1 file references nothing. *)
+let store_digests buf =
+  let mlen = String.length store_magic in
+  if Bytes.length buf >= mlen && Bytes.sub_string buf 0 mlen = magic then Ok []
+  else if Bytes.length buf < mlen || Bytes.sub_string buf 0 mlen <> store_magic
+  then Error "Update: bad magic"
+  else
+    match
+      let r = { buf; pos = mlen } in
+      let _update_id = get_str r in
+      let _description = get_str r in
+      let _patched_units = get_list r get_str in
+      let _replaced_functions = get_list r get_pair in
+      let primary = get_str r in
+      let helpers = get_list r get_str in
+      primary :: helpers
+    with
+    | ds -> Ok ds
+    | exception Failure m -> Error m
+
 let write_file path u =
   let oc = open_out_bin path in
   Fun.protect

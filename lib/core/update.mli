@@ -54,5 +54,12 @@ val of_bytes : Bytes.t -> t
 val to_bytes_store : Store.t -> t -> Bytes.t
 val of_bytes_store : Store.t -> Bytes.t -> (t, string) result
 
+(** The store digests a serialised update references (primary first,
+    then helpers), parsed from the header alone — the blobs are never
+    fetched. A self-contained [KSPL1] file references nothing ([Ok []]).
+    This is the GC's reachability edge from an update blob to the object
+    blobs it shares with other updates. *)
+val store_digests : Bytes.t -> (string list, string) result
+
 val write_file : string -> t -> unit
 val read_file : string -> t

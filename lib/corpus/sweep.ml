@@ -532,3 +532,252 @@ let pp_matrix ppf r =
       "all faulted applies rolled back byte-identically; all CVEs \
        re-applied, verified, stressed%s@\n"
       " and exploit-checked"
+
+(* ---------- the crash sweep: persistence under process death ----------
+
+   The filesystem analogue of the apply sweep above: publish a CVE's
+   update into a fresh on-disk repository, killing the simulated process
+   at every i-th mutating I/O operation ([Vfs.Crash]); then reopen with
+   a clean handle (the reboot) and assert the store recovers to
+   fsck-clean with the chain atomically all-or-nothing, and that GC
+   afterwards reclaims exactly the unreachable blobs. *)
+
+module Repo = Ksplice.Repository
+module Tree = Patchfmt.Source_tree
+module Diff = Patchfmt.Diff
+
+type crow = {
+  cr_cve : string;
+  cr_ops : int;  (* mutating I/O ops in a fault-free publish *)
+  cr_published : int;  (* crash points after which the chain survived whole *)
+  cr_absent : int;  (* crash points after which it vanished atomically *)
+  cr_gc_swept : int;
+  cr_gc_bytes : int;
+  cr_notes : string list;  (* violations; [] = row passed *)
+}
+
+type crash_report = {
+  c_rows : crow list;
+  c_cells : int;
+  c_published : int;
+  c_absent : int;
+  c_violations : int;
+  c_gc_swept : int;
+  c_gc_bytes : int;
+}
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "ksplcrash" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let publish_once ?vfs dir ~source ~patch ~update =
+  match Repo.open_dir ?vfs dir with
+  | Error e -> Error (Format.asprintf "open_dir: %a" Repo.pp_error e)
+  | Ok repo -> (
+    match Repo.publish repo ~source ~patch ~update with
+    | Ok _ -> Ok ()
+    | Error e -> Error (Format.asprintf "publish: %a" Repo.pp_error e))
+
+let chain_ids repo ~digest =
+  Result.map
+    (List.map (fun (e : Repo.entry) -> e.update.Ksplice.Update.update_id))
+    (Repo.pending repo ~digest)
+
+(* One crash point: publish under Crash@i, reopen clean, judge.
+   Returns (published, swept, bytes, notes). *)
+let crash_cell ~seed ~source ~patch ~update ~base_digest
+    (update_id : string) i =
+  with_tmp_dir (fun dir ->
+      let vfs, inj = Vfs.inject { Vfs.at = i; kind = Vfs.Crash; seed } Vfs.real in
+      let notes = ref [] in
+      let note fmt = Format.kasprintf (fun s -> notes := !notes @ [ s ]) fmt in
+      (match publish_once ~vfs dir ~source ~patch ~update with
+      | exception Vfs.Crashed -> ()
+      | Ok () ->
+        if Vfs.fired inj then
+          (* the crash op was the last one: publish returned before any
+             further I/O could refuse — still a valid crash point *)
+          ()
+        else note "crash point %d never fired (run has %d ops)" i (Vfs.ops inj)
+      | Error m -> note "publish failed without a crash: %s" m);
+      (* the dead handle is discarded; reopening is the reboot *)
+      match Repo.open_dir dir with
+      | Error e -> (false, 0, 0, [ Format.asprintf "reopen: %a" Repo.pp_error e ])
+      | Ok repo ->
+        (match Repo.fsck repo with
+        | Ok _ -> ()
+        | Error r ->
+          List.iter
+            (fun iss ->
+              note "fsck after recovery: %a" Store.pp_fsck_issue iss)
+            r.Repo.store_report.Store.f_issues;
+          List.iter
+            (fun (d, m) -> note "fsck: entry %s: %s" d m)
+            r.Repo.corrupt_entries);
+        let published =
+          match chain_ids repo ~digest:base_digest with
+          | Ok [] -> false
+          | Ok [ id ] when String.equal id update_id -> true
+          | Ok ids ->
+            note "chain is half-published: [%s]" (String.concat "; " ids);
+            false
+          | Error e ->
+            note "pending after recovery: %a" Repo.pp_error e;
+            false
+        in
+        let swept, bytes =
+          match Repo.gc repo with
+          | Error e ->
+            note "gc after recovery: %a" Repo.pp_error e;
+            (0, 0)
+          | Ok g ->
+            (* GC must preserve the chain exactly and, when the publish
+               vanished, leave nothing behind *)
+            (match chain_ids repo ~digest:base_digest with
+            | Ok ids ->
+              let expect = if published then [ update_id ] else [] in
+              if ids <> expect then
+                note "gc changed the chain: [%s]" (String.concat "; " ids)
+            | Error e -> note "pending after gc: %a" Repo.pp_error e);
+            (match Repo.fsck repo with
+            | Ok r ->
+              if (not published) && r.Repo.store_report.Store.f_blobs <> 0 then
+                note "gc left %d unreachable blob(s) in an empty repository"
+                  r.Repo.store_report.Store.f_blobs
+            | Error _ -> note "fsck after gc reports damage");
+            (g.Store.gc_swept, g.Store.gc_bytes)
+        in
+        (published, swept, bytes, !notes))
+
+(* Fault-free probe: counts the mutating ops of a publish and proves the
+   published chain actually syncs onto a freshly booted subscriber. *)
+let crash_probe (cve : Cve.t) base ~patch ~update =
+  with_tmp_dir (fun dir ->
+      let vfs, count = Vfs.counting Vfs.real in
+      match publish_once ~vfs dir ~source:base ~patch ~update with
+      | Error m -> (0, [ "fault-free publish failed: " ^ m ])
+      | Ok () -> (
+        let n = count () in
+        match Repo.open_dir dir with
+        | Error e -> (n, [ Format.asprintf "reopen: %a" Repo.pp_error e ])
+        | Ok repo -> (
+          let b = Boot.boot () in
+          let mgr = Apply.init b.Boot.machine in
+          match Repo.sync repo mgr ~source:base with
+          | Ok r when r.Repo.applied = [ cve.id ] -> (n, [])
+          | Ok r ->
+            ( n,
+              [ Printf.sprintf "sync applied [%s], expected [%s]"
+                  (String.concat "; " r.Repo.applied) cve.id ] )
+          | Error e ->
+            (n, [ Format.asprintf "sync after publish: %a" Repo.pp_error e ]))))
+
+let crash_cve ~seed (cve : Cve.t) base =
+  let patch = Cve.hot_patch cve base in
+  let update = create_update cve base in
+  let base_digest = Tree.digest base in
+  let ops, probe_notes = crash_probe cve base ~patch ~update in
+  let published = ref 0 in
+  let absent = ref 0 in
+  let swept = ref 0 in
+  let bytes = ref 0 in
+  let notes = ref probe_notes in
+  for i = 1 to ops do
+    let p, s, by, ns =
+      crash_cell ~seed ~source:base ~patch ~update ~base_digest cve.id i
+    in
+    if ns = [] then if p then incr published else incr absent
+    else
+      notes :=
+        !notes
+        @ List.map (Printf.sprintf "crash@%d: %s" i) ns;
+    swept := !swept + s;
+    bytes := !bytes + by
+  done;
+  {
+    cr_cve = cve.id;
+    cr_ops = ops;
+    cr_published = !published;
+    cr_absent = !absent;
+    cr_gc_swept = !swept;
+    cr_gc_bytes = !bytes;
+    cr_notes = !notes;
+  }
+
+(* every 8th CVE: a deterministic sample spanning the corpus — each row
+   costs [ops] publish+recover+gc rounds, so the full 64 would be slow *)
+let crash_sample () = List.filteri (fun i _ -> i mod 8 = 0) Cve.all
+
+let run_crash ?(seed = 0) ?cves ?progress ?domains () =
+  let cves = match cves with Some l -> l | None -> crash_sample () in
+  let base = Base_kernel.tree () in
+  let progress_m = Mutex.create () in
+  let emit line =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_m;
+      f line;
+      Mutex.unlock progress_m
+  in
+  let rows =
+    Parallel.map ?domains
+      (fun (i, cve) ->
+        let row = crash_cve ~seed:(seed + (1009 * i)) cve base in
+        emit
+          (Printf.sprintf "%-14s %3d crash points: %d whole, %d absent%s"
+             row.cr_cve row.cr_ops row.cr_published row.cr_absent
+             (if row.cr_notes = [] then "" else "  VIOLATION"));
+        row)
+      (List.mapi (fun i cve -> (i, cve)) cves)
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  {
+    c_rows = rows;
+    c_cells = sum (fun r -> r.cr_ops);
+    c_published = sum (fun r -> r.cr_published);
+    c_absent = sum (fun r -> r.cr_absent);
+    c_violations = sum (fun r -> List.length r.cr_notes);
+    c_gc_swept = sum (fun r -> r.cr_gc_swept);
+    c_gc_bytes = sum (fun r -> r.cr_gc_bytes);
+  }
+
+let crash_ok r = r.c_violations = 0
+
+let pp_crash ppf r =
+  Format.fprintf ppf
+    "crash sweep: %d CVEs, a publish killed at every mutating I/O op@\n@\n"
+    (List.length r.c_rows);
+  Format.fprintf ppf "%-16s %5s %9s %7s %9s@\n" "CVE" "ops" "published"
+    "absent" "gc-bytes";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-16s %5d %9d %7d %9d%s@\n" row.cr_cve row.cr_ops
+        row.cr_published row.cr_absent row.cr_gc_bytes
+        (if row.cr_notes = [] then "" else "  VIOLATION"))
+    r.c_rows;
+  Format.fprintf ppf
+    "@\ncrash points: %d  recovered whole: %d  recovered absent: %d  \
+     violations: %d  gc swept: %d blobs (%d bytes)@\n"
+    r.c_cells r.c_published r.c_absent r.c_violations r.c_gc_swept
+    r.c_gc_bytes;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun m -> Format.fprintf ppf "VIOLATION %s: %s@\n" row.cr_cve m)
+        row.cr_notes)
+    r.c_rows;
+  if crash_ok r then
+    Format.fprintf ppf
+      "every crash point recovered to fsck-clean with the chain \
+       all-or-nothing; gc reclaimed only unreachable blobs@\n"

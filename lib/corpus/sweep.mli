@@ -131,3 +131,55 @@ val pp_manager : Format.formatter -> mreport -> unit
 (** The step × fault matrix: one row per CVE, one column per pipeline
     step, plus totals and a closing verdict line. *)
 val pp_matrix : Format.formatter -> report -> unit
+
+(** {1 The crash sweep: persistence under process death}
+
+    The filesystem analogue of {!run}: each sampled CVE's update is
+    published into a fresh on-disk repository with a hard crash
+    ({!Vfs.Crash}) injected at every i-th mutating I/O operation. After
+    each crash the directory is reopened with a clean handle (the
+    reboot); the recovered store must pass fsck, the chain must be
+    atomically all-or-nothing (never half-published, never a dangling
+    ref), and a garbage collection must reclaim every unreachable blob
+    and none of the chain. A fault-free probe run per CVE sizes the
+    sweep and proves publish→sync end to end. *)
+
+type crow = {
+  cr_cve : string;
+  cr_ops : int;  (** mutating I/O ops in a fault-free publish *)
+  cr_published : int;  (** crash points after which the chain survived whole *)
+  cr_absent : int;  (** crash points after which it vanished atomically *)
+  cr_gc_swept : int;  (** blobs reclaimed by the per-cell GCs *)
+  cr_gc_bytes : int;  (** bytes reclaimed by the per-cell GCs *)
+  cr_notes : string list;  (** violations; [[]] = row passed *)
+}
+
+type crash_report = {
+  c_rows : crow list;
+  c_cells : int;  (** total crash points exercised *)
+  c_published : int;
+  c_absent : int;
+  c_violations : int;
+  c_gc_swept : int;
+  c_gc_bytes : int;
+}
+
+(** [run_crash ?seed ?cves ?progress ?domains ()] sweeps [cves]
+    (default: every 8th corpus CVE — a deterministic 8-CVE sample; each
+    row costs one publish+recover+gc round per I/O op). Same fan-out
+    and determinism discipline as {!run}. *)
+val run_crash :
+  ?seed:int ->
+  ?cves:Cve.t list ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  unit ->
+  crash_report
+
+(** The default sample {!run_crash} sweeps: every 8th corpus CVE. *)
+val crash_sample : unit -> Cve.t list
+
+(** No violations at any crash point. *)
+val crash_ok : crash_report -> bool
+
+val pp_crash : Format.formatter -> crash_report -> unit

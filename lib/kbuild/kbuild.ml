@@ -9,9 +9,23 @@ type build = {
   options : Minic.Driver.options;
 }
 
+type error =
+  | Unit_compile_failed of { unit_name : string; reason : string }
+  | Unit_assemble_failed of { unit_name : string; line : int; reason : string }
+
+let pp_error ppf = function
+  | Unit_compile_failed { unit_name = _; reason } ->
+    (* driver messages already lead with the unit name *)
+    Format.pp_print_string ppf reason
+  | Unit_assemble_failed { unit_name; line; reason } ->
+    Format.fprintf ppf "%s:%d: %s" unit_name line reason
+
 exception Build_error of string
 
-let err fmt = Format.kasprintf (fun m -> raise (Build_error m)) fmt
+(* internal: carries the typed error out of the domain pool; Parallel.map
+   re-raises the smallest-index failure, so the surfaced error is
+   deterministically the first failing unit in path order *)
+exception Fail of error
 
 (* Content-addressed compile cache: (digest(source), options fingerprint)
    -> compiled unit, backed by the shared artifact store ({!Store}). The
@@ -125,7 +139,8 @@ let compile_one ~options path contents =
         match Minic.Driver.compile ~options ~unit_name:path contents with
         | { obj; inline_decisions } ->
           { source_name = path; obj; inline_decisions }
-        | exception Minic.Driver.Error m -> err "%s" m
+        | exception Minic.Driver.Error m ->
+          raise (Fail (Unit_compile_failed { unit_name = path; reason = m }))
       end
       else begin
         match
@@ -134,7 +149,10 @@ let compile_one ~options path contents =
         with
         | obj -> { source_name = path; obj; inline_decisions = [] }
         | exception Asm.Assembler.Error { line; msg } ->
-          err "%s:%d: %s" path line msg
+          raise
+            (Fail
+               (Unit_assemble_failed
+                  { unit_name = path; line; reason = msg }))
       end
     in
     ignore (Unit_codec.remember the_store ~key u : Store.digest);
@@ -148,12 +166,18 @@ let build_tree ?domains ~options tree =
     Patchfmt.Source_tree.bindings tree
     |> List.filter (fun (path, _) -> is_source path)
   in
-  let units =
+  match
     Parallel.map ?domains
       (fun (path, contents) -> compile_one ~options path contents)
       sources
-  in
-  { units; options }
+  with
+  | units -> Ok { units; options }
+  | exception Fail e -> Error e
+
+let build_tree_exn ?domains ~options tree =
+  match build_tree ?domains ~options tree with
+  | Ok b -> b
+  | Error e -> raise (Build_error (Format.asprintf "%a" pp_error e))
 
 let objects b = List.map (fun u -> u.obj) b.units
 

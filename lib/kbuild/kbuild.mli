@@ -24,14 +24,32 @@ type build = {
   options : Minic.Driver.options;
 }
 
+(** A failed unit, as data. Compile failures carry the driver's message
+    (which leads with the unit name and position); assemble failures
+    carry the failing line. *)
+type error =
+  | Unit_compile_failed of { unit_name : string; reason : string }
+  | Unit_assemble_failed of { unit_name : string; line : int; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Raised only by {!build_tree_exn}, for callers that still want the
+    exception convention; the message is [pp_error] applied to the typed
+    error. *)
 exception Build_error of string
 
 (** [build_tree ?domains ~options tree] compiles every [.c] and [.s] file
     of the tree, in path order, using up to [domains] domains (default
     {!Parallel.default_domains}; [1] forces a fully sequential build).
-    @raise Build_error naming the failing unit — deterministically the
-    first failing unit in path order, regardless of scheduling. *)
+    A failure is returned as data — deterministically the first failing
+    unit in path order, regardless of scheduling. *)
 val build_tree :
+  ?domains:int -> options:Minic.Driver.options -> Patchfmt.Source_tree.t ->
+  (build, error) result
+
+(** {!build_tree} for callers without a failure path of their own.
+    @raise Build_error on the first failing unit. *)
+val build_tree_exn :
   ?domains:int -> options:Minic.Driver.options -> Patchfmt.Source_tree.t ->
   build
 

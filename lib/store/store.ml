@@ -26,14 +26,50 @@ type stats = {
   disk_reads : int;
   disk_writes : int;
   corrupt : int;
+  gc_runs : int;
+  gc_collected : int;
+  gc_reclaimed_bytes : int;
+}
+
+type recovery_report = {
+  rolled_forward : int;
+  rolled_back : int;
+  torn_discarded : int;
+  tmp_removed : int;
+}
+
+type fsck_issue =
+  | Orphan_tmp of string
+  | Corrupt_blob of { digest : digest; reason : string }
+  | Dangling_ref of { name : string; digest : digest }
+  | Unreadable_ref of { path : string; reason : string }
+  | Pending_journal of int
+
+type fsck_report = {
+  f_blobs : int;
+  f_refs : int;
+  f_issues : fsck_issue list;
+}
+
+type gc_report = {
+  gc_live : int;
+  gc_swept : int;
+  gc_bytes : int;
+  gc_pinned : int;
 }
 
 type t = {
   sname : string;
   dir : string option;
+  vfs : Vfs.t;
   m : Mutex.t;
   blobs : (digest, centry) Hashtbl.t;
   mrefs : (string, digest) Hashtbl.t;
+  (* digests interned by transactions still in flight: GC roots until the
+     outermost with_txn exits (its refs are committed by then) *)
+  pinned : (digest, unit) Hashtbl.t;
+  mutable txns : int;
+  mutable last_recovery : recovery_report option;
   mutable clock : int;
   mutable cap : int;
   mutable hits : int;
@@ -46,6 +82,9 @@ type t = {
   mutable disk_reads : int;
   mutable disk_writes : int;
   mutable corrupt : int;
+  mutable gc_runs : int;
+  mutable gc_collected : int;
+  mutable gc_reclaimed_bytes : int;
   (* precomputed trace-counter names: emitters are on cache hot paths *)
   tc_hits : string;
   tc_misses : string;
@@ -57,71 +96,272 @@ let name t = t.sname
 
 (* --- disk tier layout --- *)
 
-let mkdir_p dir =
+let mkdir_p vfs dir =
   let rec ensure d =
-    if not (Sys.file_exists d) then begin
-      ensure (Filename.dirname d);
-      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    if not (vfs.Vfs.exists d) then begin
+      let parent = Filename.dirname d in
+      if not (String.equal parent d) then ensure parent;
+      (* tolerate a concurrent creator; surface every other failure *)
+      try vfs.Vfs.mkdir d
+      with Vfs.Io_error _ as e -> if not (vfs.Vfs.exists d) then raise e
     end
   in
   ensure dir;
-  if not (Sys.is_directory dir) then
-    invalid_arg ("Store: " ^ dir ^ " is not a directory")
+  if not (vfs.Vfs.is_directory dir) then
+    raise
+      (Vfs.Io_error
+         { op = "mkdir"; path = dir; reason = "exists but is not a directory" })
 
 let blobs_dir dir = Filename.concat dir "blobs"
 let refs_dir dir = Filename.concat dir "refs"
 let blob_path dir d = Filename.concat (blobs_dir dir) d
+let journal_path dir = Filename.concat dir "journal"
 
 (* ref names are arbitrary strings (compile-cache keys contain paths and
    option fingerprints), so the file is named by the digest of the name
    and carries the name inside *)
 let ref_path dir rname = Filename.concat (refs_dir dir) (digest_of_string rname)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* write-then-rename: readers never observe a half-written artifact *)
-let write_atomic path contents =
+(* Durable atomic replace: write the bytes to a temporary, fsync them,
+   rename into place, then fsync the directory so the rename itself is
+   on stable storage. A failure anywhere unlinks the temporary — the
+   caller sees the exception, never a stray [.tmp] (a simulated process
+   death can still strand one; recovery-on-open sweeps those). *)
+let write_atomic vfs path contents =
   let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc contents);
-  Sys.rename tmp path
+  match
+    vfs.Vfs.write_file tmp contents;
+    vfs.Vfs.fsync tmp;
+    vfs.Vfs.rename tmp path;
+    vfs.Vfs.fsync (Filename.dirname path)
+  with
+  | () -> ()
+  | exception e ->
+    (try vfs.Vfs.unlink tmp with _ -> ());
+    raise e
 
-let create ?(name = "store") ?(capacity = 1024) ?dir () =
+(* --- write-ahead ref journal ---
+
+   A multi-ref commit appends one self-delimiting record to <dir>/journal
+   and fsyncs it *before* touching any ref file:
+
+     "J1 " <len> ":" <payload> <md5-hex payload> "\n"
+     payload = netstring count, then (name, old, new) netstring triples
+               (old = "" when the ref did not exist)
+
+   Recovery re-reads the journal: a record whose checksum verifies and
+   whose new blobs are all present and re-digest clean is rolled forward
+   (the commit happened); any other complete record is rolled back to
+   the recorded old values; a torn tail is discarded (the commit never
+   reached its fsync, so no ref file was written). *)
+
+let ns_add b s =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let ns_read raw pos =
+  match String.index_from_opt raw pos ':' with
+  | None -> None
+  | Some colon -> (
+    match int_of_string_opt (String.sub raw pos (colon - pos)) with
+    | Some n when n >= 0 && colon + 1 + n <= String.length raw ->
+      Some (String.sub raw (colon + 1) n, colon + 1 + n)
+    | _ -> None)
+
+let journal_record updates =
+  let b = Buffer.create 256 in
+  ns_add b (string_of_int (List.length updates));
+  List.iter
+    (fun (rname, old_d, new_d) ->
+      ns_add b rname;
+      ns_add b old_d;
+      ns_add b new_d)
+    updates;
+  let payload = Buffer.contents b in
+  "J1 "
+  ^ string_of_int (String.length payload)
+  ^ ":" ^ payload ^ digest_of_string payload ^ "\n"
+
+let parse_payload payload =
+  let ( let* ) = Option.bind in
+  let* count_s, pos = ns_read payload 0 in
+  let* count = int_of_string_opt count_s in
+  if count < 0 then None
+  else
+    let rec triples acc pos = function
+      | 0 -> if pos = String.length payload then Some (List.rev acc) else None
+      | k ->
+        let* rname, pos = ns_read payload pos in
+        let* old_d, pos = ns_read payload pos in
+        let* new_d, pos = ns_read payload pos in
+        triples ((rname, old_d, new_d) :: acc) pos (k - 1)
+    in
+    triples [] pos count
+
+(* -> (complete records, torn-tail count: 0 or 1) *)
+let parse_journal raw =
+  let len = String.length raw in
+  let rec go pos records =
+    if pos >= len then (List.rev records, 0)
+    else
+      let record =
+        if pos + 3 > len || not (String.equal (String.sub raw pos 3) "J1 ")
+        then None
+        else
+          match ns_read raw (pos + 3) with
+          | Some (payload, next)
+            when next + 32 < len
+                 && raw.[next + 32] = '\n'
+                 && String.equal
+                      (String.sub raw next 32)
+                      (digest_of_string payload) -> (
+            match parse_payload payload with
+            | Some refs -> Some (refs, next + 33)
+            | None -> None)
+          | _ -> None
+      in
+      match record with
+      | None -> (List.rev records, 1)
+      | Some (refs, next) -> go next (refs :: records)
+  in
+  go 0 []
+
+let ref_file_contents rname d = rname ^ "\n" ^ d ^ "\n"
+
+let parse_ref_file raw =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some i ->
+    let rname = String.sub raw 0 i in
+    let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
+    let d = String.trim rest in
+    if d = "" then None else Some (rname, d)
+
+(* --- recovery-on-open --- *)
+
+let sweep_tmps vfs dir =
+  let removed = ref 0 in
+  List.iter
+    (fun sub ->
+      Array.iter
+        (fun e ->
+          if Filename.check_suffix e ".tmp" then begin
+            (try vfs.Vfs.unlink (Filename.concat sub e)
+             with Vfs.Io_error _ -> ());
+            incr removed
+          end)
+        (vfs.Vfs.readdir sub))
+    [ blobs_dir dir; refs_dir dir ];
+  !removed
+
+let blob_verifies vfs dir d =
+  let p = blob_path dir d in
+  vfs.Vfs.exists p
+  &&
+  match vfs.Vfs.read_file p with
+  | raw -> String.equal (digest_of_string raw) d
+  | exception Vfs.Io_error _ -> false
+
+let recover_dir ~vfs ~mrefs dir =
+  let tmp_removed = sweep_tmps vfs dir in
+  let jp = journal_path dir in
+  let rolled_forward = ref 0 in
+  let rolled_back = ref 0 in
+  let torn = ref 0 in
+  (if vfs.Vfs.exists jp then
+     match vfs.Vfs.read_file jp with
+     | "" -> ()
+     | raw ->
+       let records, torn_n = parse_journal raw in
+       torn := torn_n;
+       List.iter
+         (fun refs ->
+           let committed =
+             List.for_all (fun (_, _, new_d) -> blob_verifies vfs dir new_d) refs
+           in
+           if committed then begin
+             incr rolled_forward;
+             List.iter
+               (fun (rname, _, new_d) ->
+                 write_atomic vfs (ref_path dir rname)
+                   (ref_file_contents rname new_d);
+                 Hashtbl.replace mrefs rname new_d)
+               refs
+           end
+           else begin
+             incr rolled_back;
+             List.iter
+               (fun (rname, old_d, _) ->
+                 let p = ref_path dir rname in
+                 if String.equal old_d "" then begin
+                   if vfs.Vfs.exists p then vfs.Vfs.unlink p;
+                   Hashtbl.remove mrefs rname
+                 end
+                 else begin
+                   write_atomic vfs p (ref_file_contents rname old_d);
+                   Hashtbl.replace mrefs rname old_d
+                 end)
+               refs
+           end)
+         records;
+       (* checkpoint: everything above is now durable *)
+       vfs.Vfs.write_file jp "";
+       vfs.Vfs.fsync jp);
+  {
+    rolled_forward = !rolled_forward;
+    rolled_back = !rolled_back;
+    torn_discarded = !torn;
+    tmp_removed;
+  }
+
+let create ?(name = "store") ?(capacity = 1024) ?dir ?(vfs = Vfs.real)
+    ?(recover = true) () =
   (match dir with
   | None -> ()
   | Some d ->
-    mkdir_p d;
-    mkdir_p (blobs_dir d);
-    mkdir_p (refs_dir d));
-  {
-    sname = name;
-    dir;
-    m = Mutex.create ();
-    blobs = Hashtbl.create 256;
-    mrefs = Hashtbl.create 64;
-    clock = 0;
-    cap = max 1 capacity;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    puts = 0;
-    dedup_hits = 0;
-    bytes_put = 0;
-    bytes_deduped = 0;
-    disk_reads = 0;
-    disk_writes = 0;
-    corrupt = 0;
-    tc_hits = "store." ^ name ^ ".hits";
-    tc_misses = "store." ^ name ^ ".misses";
-    tc_evictions = "store." ^ name ^ ".evictions";
-    tc_dedup = "store." ^ name ^ ".dedup_hits";
-  }
+    mkdir_p vfs d;
+    mkdir_p vfs (blobs_dir d);
+    mkdir_p vfs (refs_dir d));
+  let t =
+    {
+      sname = name;
+      dir;
+      vfs;
+      m = Mutex.create ();
+      blobs = Hashtbl.create 256;
+      mrefs = Hashtbl.create 64;
+      pinned = Hashtbl.create 16;
+      txns = 0;
+      last_recovery = None;
+      clock = 0;
+      cap = max 1 capacity;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      puts = 0;
+      dedup_hits = 0;
+      bytes_put = 0;
+      bytes_deduped = 0;
+      disk_reads = 0;
+      disk_writes = 0;
+      corrupt = 0;
+      gc_runs = 0;
+      gc_collected = 0;
+      gc_reclaimed_bytes = 0;
+      tc_hits = "store." ^ name ^ ".hits";
+      tc_misses = "store." ^ name ^ ".misses";
+      tc_evictions = "store." ^ name ^ ".evictions";
+      tc_dedup = "store." ^ name ^ ".dedup_hits";
+    }
+  in
+  (match dir with
+  | Some d when recover ->
+    t.last_recovery <- Some (recover_dir ~vfs ~mrefs:t.mrefs d)
+  | _ -> ());
+  t
+
+let recovery t = t.last_recovery
 
 let default_store = ref None
 let default_m = Mutex.create ()
@@ -181,6 +421,7 @@ let put t blob =
   let d = digest_of_string blob in
   locked t (fun () ->
       t.puts <- t.puts + 1;
+      if t.txns > 0 then Hashtbl.replace t.pinned d ();
       match Hashtbl.find_opt t.blobs d with
       | Some e ->
         touch t e;
@@ -189,13 +430,13 @@ let put t blob =
         Trace.count t.tc_dedup 1
       | None ->
         (match t.dir with
-        | Some dir when Sys.file_exists (blob_path dir d) ->
+        | Some dir when t.vfs.Vfs.exists (blob_path dir d) ->
           (* already durable from an earlier run: a dedup against disk *)
           t.dedup_hits <- t.dedup_hits + 1;
           t.bytes_deduped <- t.bytes_deduped + String.length blob;
           Trace.count t.tc_dedup 1
         | Some dir ->
-          write_atomic (blob_path dir d) blob;
+          write_atomic t.vfs (blob_path dir d) blob;
           t.disk_writes <- t.disk_writes + 1;
           t.bytes_put <- t.bytes_put + String.length blob
         | None -> t.bytes_put <- t.bytes_put + String.length blob);
@@ -223,10 +464,11 @@ let find_entry_locked t d =
     | None -> miss `Missing
     | Some dir -> (
       let path = blob_path dir d in
-      if not (Sys.file_exists path) then miss `Missing
+      if not (t.vfs.Vfs.exists path) then miss `Missing
       else
-        match read_file path with
-        | exception Sys_error m -> miss (`Corrupt ("unreadable blob: " ^ m))
+        match t.vfs.Vfs.read_file path with
+        | exception Vfs.Io_error { reason; _ } ->
+          miss (`Corrupt ("unreadable blob: " ^ reason))
         | raw ->
           t.disk_reads <- t.disk_reads + 1;
           let actual = digest_of_string raw in
@@ -262,27 +504,27 @@ let mem t d =
       Hashtbl.mem t.blobs d
       || match t.dir with
          | None -> false
-         | Some dir -> Sys.file_exists (blob_path dir d))
+         | Some dir -> t.vfs.Vfs.exists (blob_path dir d))
 
 (* --- refs --- *)
-
-let ref_file_contents rname d = rname ^ "\n" ^ d ^ "\n"
-
-let parse_ref_file raw =
-  match String.index_opt raw '\n' with
-  | None -> None
-  | Some i ->
-    let rname = String.sub raw 0 i in
-    let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
-    let d = String.trim rest in
-    if d = "" then None else Some (rname, d)
 
 let set_ref t rname d =
   locked t (fun () ->
       Hashtbl.replace t.mrefs rname d;
       match t.dir with
       | None -> ()
-      | Some dir -> write_atomic (ref_path dir rname) (ref_file_contents rname d))
+      | Some dir ->
+        write_atomic t.vfs (ref_path dir rname) (ref_file_contents rname d))
+
+(* assumes the lock is held *)
+let disk_ref_locked t dir rname =
+  let path = ref_path dir rname in
+  if not (t.vfs.Vfs.exists path) then None
+  else
+    match parse_ref_file (t.vfs.Vfs.read_file path) with
+    | Some (stored, d) when String.equal stored rname -> Some d
+    | Some _ | None -> None
+    | exception Vfs.Io_error _ -> None
 
 let find_ref t rname =
   locked t (fun () ->
@@ -292,14 +534,64 @@ let find_ref t rname =
         match t.dir with
         | None -> None
         | Some dir -> (
-          let path = ref_path dir rname in
-          if not (Sys.file_exists path) then None
-          else
-            match parse_ref_file (read_file path) with
-            | Some (stored, d) when String.equal stored rname ->
-              Hashtbl.replace t.mrefs rname d;
-              Some d
-            | _ -> None)))
+          match disk_ref_locked t dir rname with
+          | Some d ->
+            Hashtbl.replace t.mrefs rname d;
+            Some d
+          | None -> None)))
+
+let commit_refs t updates =
+  locked t (fun () ->
+      match t.dir with
+      | None ->
+        List.iter (fun (rname, d) -> Hashtbl.replace t.mrefs rname d) updates
+      | Some dir ->
+        let with_old (rname, new_d) =
+          let old_d =
+            match Hashtbl.find_opt t.mrefs rname with
+            | Some o -> o
+            | None -> Option.value (disk_ref_locked t dir rname) ~default:""
+          in
+          (rname, old_d, new_d)
+        in
+        let record = List.map with_old updates in
+        let jp = journal_path dir in
+        (* the commit point: once this record is on stable storage the
+           transaction roll-forwards; before it, nothing was written *)
+        t.vfs.Vfs.append_file jp (journal_record record);
+        t.vfs.Vfs.fsync jp;
+        List.iter
+          (fun (rname, d) ->
+            write_atomic t.vfs (ref_path dir rname)
+              (ref_file_contents rname d);
+            Hashtbl.replace t.mrefs rname d)
+          updates;
+        (* checkpoint: the refs are durable, the record is obsolete *)
+        t.vfs.Vfs.write_file jp "";
+        t.vfs.Vfs.fsync jp)
+
+(* test/tooling hook: append a journal record without touching the refs,
+   simulating a writer that died right after its commit-point fsync *)
+let append_journal t updates =
+  match t.dir with
+  | None -> invalid_arg "Store.append_journal: memory-only store"
+  | Some dir ->
+    locked t (fun () ->
+        let jp = journal_path dir in
+        t.vfs.Vfs.append_file jp
+          (journal_record
+             (List.map
+                (fun (rname, old_d, new_d) ->
+                  (rname, Option.value old_d ~default:"", new_d))
+                updates));
+        t.vfs.Vfs.fsync jp)
+
+let with_txn t f =
+  locked t (fun () -> t.txns <- t.txns + 1);
+  Fun.protect f ~finally:(fun () ->
+      locked t (fun () ->
+          t.txns <- t.txns - 1;
+          if t.txns = 0 then Hashtbl.reset t.pinned))
 
 let refs t =
   locked t (fun () ->
@@ -312,12 +604,12 @@ let refs t =
             let path = Filename.concat (refs_dir dir) entry in
             if
               (not (Filename.check_suffix entry ".tmp"))
-              && not (Sys.is_directory path)
+              && not (t.vfs.Vfs.is_directory path)
             then
-              match parse_ref_file (read_file path) with
+              match parse_ref_file (t.vfs.Vfs.read_file path) with
               | Some (rname, d) -> Hashtbl.replace acc rname d
               | None -> ())
-          (Sys.readdir (refs_dir dir)));
+          (t.vfs.Vfs.readdir (refs_dir dir)));
       (* memory wins: it holds any not-yet-flushed or most recent value *)
       Hashtbl.iter (Hashtbl.replace acc) t.mrefs;
       Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
@@ -339,6 +631,187 @@ let remember t ~key blob =
   set_ref t key d;
   d
 
+(* --- fsck --- *)
+
+let pp_fsck_issue ppf = function
+  | Orphan_tmp path -> Format.fprintf ppf "orphan temp file: %s" path
+  | Corrupt_blob { digest; reason } ->
+    Format.fprintf ppf "corrupt blob %s: %s" digest reason
+  | Dangling_ref { name; digest } ->
+    Format.fprintf ppf "ref %S points at missing blob %s" name digest
+  | Unreadable_ref { path; reason } ->
+    Format.fprintf ppf "unreadable ref file %s: %s" path reason
+  | Pending_journal n ->
+    Format.fprintf ppf "journal holds %d unreplayed record(s)" n
+
+let fsck t =
+  locked t (fun () ->
+      let issues = ref [] in
+      let add i = issues := i :: !issues in
+      let blobs = ref 0 in
+      let refsn = ref 0 in
+      let blob_present d =
+        Hashtbl.mem t.blobs d
+        ||
+        match t.dir with
+        | None -> false
+        | Some dir -> t.vfs.Vfs.exists (blob_path dir d)
+      in
+      (match t.dir with
+      | None -> blobs := Hashtbl.length t.blobs
+      | Some dir ->
+        Array.iter
+          (fun e ->
+            let path = Filename.concat (blobs_dir dir) e in
+            if Filename.check_suffix e ".tmp" then add (Orphan_tmp path)
+            else begin
+              incr blobs;
+              match t.vfs.Vfs.read_file path with
+              | exception Vfs.Io_error { reason; _ } ->
+                add (Corrupt_blob { digest = e; reason = "unreadable: " ^ reason })
+              | raw ->
+                if not (String.equal (digest_of_string raw) e) then
+                  add (Corrupt_blob { digest = e; reason = "re-digest mismatch" })
+            end)
+          (t.vfs.Vfs.readdir (blobs_dir dir));
+        Array.iter
+          (fun e ->
+            let path = Filename.concat (refs_dir dir) e in
+            if Filename.check_suffix e ".tmp" then add (Orphan_tmp path)
+            else begin
+              incr refsn;
+              match t.vfs.Vfs.read_file path with
+              | exception Vfs.Io_error { reason; _ } ->
+                add (Unreadable_ref { path; reason })
+              | raw -> (
+                match parse_ref_file raw with
+                | None -> add (Unreadable_ref { path; reason = "does not parse" })
+                | Some (rname, d) ->
+                  if not (blob_present d) then
+                    add (Dangling_ref { name = rname; digest = d }))
+            end)
+          (t.vfs.Vfs.readdir (refs_dir dir));
+        let jp = journal_path dir in
+        if t.vfs.Vfs.exists jp then begin
+          match t.vfs.Vfs.read_file jp with
+          | exception Vfs.Io_error { reason; _ } ->
+            add (Unreadable_ref { path = jp; reason })
+          | "" -> ()
+          | raw ->
+            let records, torn = parse_journal raw in
+            add (Pending_journal (List.length records + torn))
+        end);
+      (* memory refs must resolve too (memory-only stores have no files) *)
+      Hashtbl.iter
+        (fun rname d ->
+          if t.dir = None then incr refsn;
+          if not (blob_present d) then
+            add (Dangling_ref { name = rname; digest = d }))
+        t.mrefs;
+      let report =
+        { f_blobs = !blobs; f_refs = !refsn; f_issues = List.rev !issues }
+      in
+      if report.f_issues = [] then Ok report else Error report)
+
+(* --- mark-and-sweep GC --- *)
+
+let gc ?(expand = fun _ _ -> []) t =
+  t.gc_runs <- t.gc_runs + 1;
+  (* mark: roots are every ref (memory + disk) and every pinned digest
+     of an in-flight transaction; [expand] closes over blob-to-blob
+     references the store itself cannot see *)
+  let roots =
+    locked t (fun () ->
+        let acc = Hashtbl.fold (fun _ d l -> d :: l) t.mrefs [] in
+        let acc =
+          match t.dir with
+          | None -> acc
+          | Some dir ->
+            Array.fold_left
+              (fun l e ->
+                if Filename.check_suffix e ".tmp" then l
+                else
+                  let path = Filename.concat (refs_dir dir) e in
+                  match parse_ref_file (t.vfs.Vfs.read_file path) with
+                  | Some (_, d) -> d :: l
+                  | None -> l
+                  | exception Vfs.Io_error _ -> l)
+              acc
+              (t.vfs.Vfs.readdir (refs_dir dir))
+        in
+        let pins = Hashtbl.fold (fun d () l -> d :: l) t.pinned [] in
+        (acc, pins))
+  in
+  let ref_roots, pins = roots in
+  let marked = Hashtbl.create 256 in
+  let broken = ref [] in
+  let rec mark d =
+    if not (Hashtbl.mem marked d) then begin
+      Hashtbl.replace marked d ();
+      match load t d with
+      | Ok raw -> List.iter mark (expand d raw)
+      | Error `Missing -> broken := (d, "missing") :: !broken
+      | Error (`Corrupt m) -> broken := (d, m) :: !broken
+    end
+  in
+  List.iter mark ref_roots;
+  List.iter mark pins;
+  match !broken with
+  | (d, m) :: _ ->
+    (* the live set cannot be trusted; collecting anything now could
+       orphan data a repaired blob would resurrect *)
+    Error (Printf.sprintf "live blob %s is damaged (%s); run fsck" d m)
+  | [] ->
+    locked t (fun () ->
+        let live d =
+          Hashtbl.mem marked d || Hashtbl.mem t.pinned d
+          (* re-check current refs: a commit that raced the mark phase
+             can only reference marked or pinned blobs, but the sweep
+             must never rely on that *)
+          || Hashtbl.fold
+               (fun _ rd acc -> acc || String.equal rd d)
+               t.mrefs false
+        in
+        let swept = ref 0 in
+        let bytes = ref 0 in
+        (match t.dir with
+        | None ->
+          let dead =
+            Hashtbl.fold
+              (fun d e acc -> if live d then acc else (d, e) :: acc)
+              t.blobs []
+          in
+          List.iter
+            (fun (d, e) ->
+              bytes := !bytes + String.length e.data;
+              Hashtbl.remove t.blobs d;
+              incr swept)
+            dead
+        | Some dir ->
+          Array.iter
+            (fun e ->
+              if (not (Filename.check_suffix e ".tmp")) && not (live e) then begin
+                let path = Filename.concat (blobs_dir dir) e in
+                (match t.vfs.Vfs.file_size path with
+                | n -> bytes := !bytes + n
+                | exception Vfs.Io_error _ -> ());
+                t.vfs.Vfs.unlink path;
+                Hashtbl.remove t.blobs e;
+                incr swept
+              end)
+            (t.vfs.Vfs.readdir (blobs_dir dir)));
+        t.gc_collected <- t.gc_collected + !swept;
+        t.gc_reclaimed_bytes <- t.gc_reclaimed_bytes + !bytes;
+        Trace.count ("store." ^ t.sname ^ ".gc_collected") !swept;
+        Trace.count ("store." ^ t.sname ^ ".gc_reclaimed_bytes") !bytes;
+        Ok
+          {
+            gc_live = Hashtbl.length marked;
+            gc_swept = !swept;
+            gc_bytes = !bytes;
+            gc_pinned = List.length pins;
+          })
+
 (* --- capacity / lifecycle / stats --- *)
 
 let set_capacity t n =
@@ -351,7 +824,8 @@ let capacity t = locked t (fun () -> t.cap)
 let reset t =
   locked t (fun () ->
       Hashtbl.reset t.blobs;
-      Hashtbl.reset t.mrefs)
+      Hashtbl.reset t.mrefs;
+      Hashtbl.reset t.pinned)
 
 let stats t =
   locked t (fun () ->
@@ -368,6 +842,9 @@ let stats t =
         disk_reads = t.disk_reads;
         disk_writes = t.disk_writes;
         corrupt = t.corrupt;
+        gc_runs = t.gc_runs;
+        gc_collected = t.gc_collected;
+        gc_reclaimed_bytes = t.gc_reclaimed_bytes;
       })
 
 let fingerprint t =
@@ -382,7 +859,7 @@ let fingerprint t =
           (fun entry ->
             if not (Filename.check_suffix entry ".tmp") then
               Hashtbl.replace digests entry ())
-          (Sys.readdir (blobs_dir dir)));
+          (t.vfs.Vfs.readdir (blobs_dir dir)));
       let sorted =
         Hashtbl.fold (fun d () l -> d :: l) digests []
         |> List.sort String.compare

@@ -1,0 +1,164 @@
+exception Crashed
+exception Io_error of { op : string; path : string; reason : string }
+
+type t = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  append_file : string -> string -> unit;
+  fsync : string -> unit;
+  rename : string -> string -> unit;
+  unlink : string -> unit;
+  mkdir : string -> unit;
+  readdir : string -> string array;
+  exists : string -> bool;
+  is_directory : string -> bool;
+  file_size : string -> int;
+}
+
+(* --- the real filesystem --- *)
+
+let io_error op path reason = raise (Io_error { op; path; reason })
+
+(* normalise both exception families the stdlib and Unix raise so
+   callers only ever see Io_error (or Crashed, from the injector) *)
+let wrap op path f =
+  try f () with
+  | Sys_error m -> io_error op path m
+  | Unix.Unix_error (e, _, _) -> io_error op path (Unix.error_message e)
+
+let real =
+  {
+    read_file =
+      (fun path ->
+        wrap "read" path (fun () ->
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))));
+    write_file =
+      (fun path contents ->
+        wrap "write" path (fun () ->
+            let oc = open_out_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc contents)));
+    append_file =
+      (fun path contents ->
+        wrap "append" path (fun () ->
+            let oc =
+              open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+            in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc contents)));
+    fsync =
+      (fun path ->
+        wrap "fsync" path (fun () ->
+            let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+            Fun.protect
+              ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> Unix.fsync fd)));
+    rename = (fun src dst -> wrap "rename" src (fun () -> Sys.rename src dst));
+    unlink = (fun path -> wrap "unlink" path (fun () -> Sys.remove path));
+    mkdir = (fun path -> wrap "mkdir" path (fun () -> Sys.mkdir path 0o755));
+    readdir = (fun path -> wrap "readdir" path (fun () -> Sys.readdir path));
+    exists = (fun path -> Sys.file_exists path);
+    is_directory =
+      (fun path -> (try Sys.is_directory path with Sys_error _ -> false));
+    file_size =
+      (fun path ->
+        wrap "stat" path (fun () -> (Unix.stat path).Unix.st_size));
+  }
+
+(* --- fault injection --- *)
+
+type fault_kind = Crash | Enospc | Torn
+type plan = { at : int; kind : fault_kind; seed : int }
+
+type injector = {
+  plan : plan;
+  mutable n : int;  (* mutating ops attempted *)
+  mutable dead : bool;
+  mutable has_fired : bool;
+}
+
+let ops inj = inj.n
+let fired inj = inj.has_fired
+
+(* how many bytes of a torn write land: deterministic in (seed, op) *)
+let torn_len inj len =
+  if len = 0 then 0 else Hashtbl.hash (inj.plan.seed, inj.n) mod (len + 1)
+
+let check_alive inj = if inj.dead then raise Crashed
+
+(* One mutating operation. [partial] applies the torn-write effect (a
+   prefix for writes, nothing for atomic ops); [full] is the real op. *)
+let mutating inj ~op ~path ~partial ~full =
+  check_alive inj;
+  inj.n <- inj.n + 1;
+  if inj.n = inj.plan.at then begin
+    inj.has_fired <- true;
+    (try partial () with Io_error _ | Sys_error _ -> ());
+    match inj.plan.kind with
+    | Crash ->
+      inj.dead <- true;
+      raise Crashed
+    | Enospc -> io_error op path "no space left on device (injected)"
+    | Torn -> ()
+  end
+  else full ()
+
+let inject plan base =
+  let inj = { plan; n = 0; dead = false; has_fired = false } in
+  let reading f x =
+    check_alive inj;
+    f x
+  in
+  let vfs =
+    {
+      read_file = reading base.read_file;
+      readdir = reading base.readdir;
+      exists = reading base.exists;
+      is_directory = reading base.is_directory;
+      file_size = reading base.file_size;
+      write_file =
+        (fun path contents ->
+          mutating inj ~op:"write" ~path
+            ~partial:(fun () ->
+              base.write_file path
+                (String.sub contents 0 (torn_len inj (String.length contents))))
+            ~full:(fun () -> base.write_file path contents));
+      append_file =
+        (fun path contents ->
+          mutating inj ~op:"append" ~path
+            ~partial:(fun () ->
+              base.append_file path
+                (String.sub contents 0 (torn_len inj (String.length contents))))
+            ~full:(fun () -> base.append_file path contents));
+      fsync =
+        (fun path ->
+          mutating inj ~op:"fsync" ~path
+            ~partial:(fun () -> ())
+            ~full:(fun () -> base.fsync path));
+      rename =
+        (fun src dst ->
+          mutating inj ~op:"rename" ~path:src
+            ~partial:(fun () -> ())
+            ~full:(fun () -> base.rename src dst));
+      unlink =
+        (fun path ->
+          mutating inj ~op:"unlink" ~path
+            ~partial:(fun () -> ())
+            ~full:(fun () -> base.unlink path));
+      mkdir =
+        (fun path ->
+          mutating inj ~op:"mkdir" ~path
+            ~partial:(fun () -> ())
+            ~full:(fun () -> base.mkdir path));
+    }
+  in
+  (vfs, inj)
+
+let counting base =
+  let vfs, inj = inject { at = max_int; kind = Torn; seed = 0 } base in
+  (vfs, fun () -> ops inj)

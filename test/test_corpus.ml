@@ -68,9 +68,10 @@ let test_all_fixed_trees_compile () =
     (fun (cve : Corpus.Cve.t) ->
       let tree = Corpus.Cve.hot_tree cve b in
       match Kbuild.build_tree ~options:Minic.Driver.pre_build tree with
-      | _ -> ()
-      | exception Kbuild.Build_error m ->
-        Alcotest.failf "%s: fixed tree does not build: %s" cve.id m)
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "%s: fixed tree does not build: %a" cve.id
+          Kbuild.pp_error e)
     Corpus.Cve.all
 
 let test_all_patches_create () =

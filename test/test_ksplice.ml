@@ -72,7 +72,7 @@ let base_tree =
       ("kernel/worker.c", worker_c) ]
 
 let boot ?(tree = base_tree) () =
-  let build = Kbuild.build_tree ~options:Minic.Driver.run_build tree in
+  let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
   let img = Image.link ~base:0x100000 (Kbuild.objects build) in
   (img, Machine.create img)
 
