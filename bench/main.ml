@@ -789,6 +789,100 @@ let crash_sweep ?cves () =
       Printf.printf "reopen+recover after a mid-publish crash: %.6f s\n"
         recovery_t)
 
+(* ---------- TN: per-thread transition vs stop_machine ---------- *)
+
+(* The machine's time model: 1 instruction = 1 ns (the stop_machine
+   pause model in lib/kernel is calibrated against the same scale). A
+   row's throughput dip is the fraction of the engagement's wall time
+   the stress workload spent frozen: pause / (pause + work). *)
+let ns_per_insn = 1
+
+type transition_outcome = {
+  tn_report : Corpus.Sweep.treport;
+  tn_dip : float;  (** per-thread engagement, mean over rows *)
+  tn_base_dip : float;  (** stop_machine baseline, same denominators *)
+  tn_pauses : int list;  (** per-thread apply pauses (ns), one per row *)
+  tn_undo_pauses : int list;
+  tn_base_pauses : int list;  (** stop_machine pauses under load *)
+  tn_straggler_pauses : int list;  (** bounded-fallback pauses *)
+  tn_migrated : (string * int) list;  (** safe-point class -> threads *)
+  tn_footprints_identical : bool;
+}
+
+let transition_result : transition_outcome option ref = ref None
+
+let transition_sweep ?cves () =
+  section "Transition sweep: per-thread engagement vs stop_machine under load";
+  let report =
+    Corpus.Sweep.run_transition ?cves ~domains:(par_domains ()) ()
+  in
+  print_string (Format.asprintf "%a" Corpus.Sweep.pp_transition report);
+  let rows = report.Corpus.Sweep.t_rows in
+  let dip_of pause work =
+    if pause = 0 then 0.0
+    else float_of_int pause /. float_of_int (pause + work)
+  in
+  let mean l =
+    match l with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let dips, base_dips =
+    List.split
+      (List.map
+         (fun (r : Corpus.Sweep.trow) ->
+           let work = r.t_sched_steps * ns_per_insn in
+           (dip_of r.t_pause_ns work, dip_of r.t_base_pause_ns work))
+         rows)
+  in
+  let dip = mean dips and base_dip = mean base_dips in
+  let classes =
+    List.map
+      (fun c ->
+        let name = Manager.Transition.sp_class_name c in
+        ( name,
+          List.fold_left
+            (fun acc (r : Corpus.Sweep.trow) ->
+              acc
+              + (try List.assoc name r.t_migrated with Not_found -> 0)
+              (* apply-phase stats carry no Forced entries (a pauseless
+                 apply never forces); the straggler cells do *)
+              + (if c = Manager.Transition.Forced then r.t_straggler_forced
+                 else 0))
+            0 rows ))
+      Manager.Transition.all_classes
+  in
+  let identical = Corpus.Sweep.transition_ok report in
+  transition_result :=
+    Some
+      {
+        tn_report = report;
+        tn_dip = dip;
+        tn_base_dip = base_dip;
+        tn_pauses = List.map (fun (r : Corpus.Sweep.trow) -> r.t_pause_ns) rows;
+        tn_undo_pauses =
+          List.map (fun (r : Corpus.Sweep.trow) -> r.t_undo_pause_ns) rows;
+        tn_base_pauses =
+          List.map (fun (r : Corpus.Sweep.trow) -> r.t_base_pause_ns) rows;
+        tn_straggler_pauses =
+          List.map (fun (r : Corpus.Sweep.trow) -> r.t_straggler_pause_ns) rows;
+        tn_migrated = classes;
+        tn_footprints_identical = identical;
+      };
+  Printf.printf "throughput dip (per-thread engagement): %8.5f\n" dip;
+  Printf.printf "throughput dip (stop_machine baseline): %8.5f\n" base_dip;
+  List.iter
+    (fun (name, n) -> Printf.printf "migrated at %-8s %6d threads\n" name n)
+    classes;
+  Printf.printf "pauseless rows: %d/%d   straggler fallbacks: %d/%d\n"
+    report.Corpus.Sweep.t_pauseless (List.length rows)
+    report.Corpus.Sweep.t_fallbacks (List.length rows);
+  Printf.printf "footprints byte-identical to stop_machine: %b\n" identical;
+  if not identical then
+    print_endline "*** TRANSITION SWEEP DIVERGED FROM STOP_MACHINE ***";
+  if dip >= base_dip then
+    print_endline "*** PER-THREAD DIP NOT BELOW STOP_MACHINE BASELINE ***"
+
 (* ---------- P: Bechamel timing ---------- *)
 
 let bechamel_benches ?(quick = false) () =
@@ -869,7 +963,7 @@ let bechamel_benches ?(quick = false) () =
           Patchfmt.Source_tree.of_list [ ("kernel/s.c", mk_unit n) ]
         in
         let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-        let img = Image.link ~base:0x100000 (Kbuild.objects build) in
+        let img = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
         let m = Machine.create img in
         let pre = Kbuild.build_tree_exn ~options:Minic.Driver.pre_build tree in
         let helper = List.hd (Kbuild.objects pre) in
@@ -1026,6 +1120,34 @@ let emit_bench_json ~mode () =
                 ("identical", Bool identical);
                 ("records", num records);
               ] );
+        ( "transition",
+          match !transition_result with
+          | None -> Null
+          | Some t ->
+            let r = t.tn_report in
+            let pauses l = Arr (List.map (fun p -> num p) l) in
+            Obj
+              [
+                ("cves", num (List.length r.Corpus.Sweep.t_rows));
+                ( "threads",
+                  num
+                    (List.fold_left
+                       (fun a (row : Corpus.Sweep.trow) -> a + row.t_threads)
+                       0 r.Corpus.Sweep.t_rows) );
+                ("dip", Num t.tn_dip);
+                ("baseline_dip", Num t.tn_base_dip);
+                ("dip_below_baseline", Bool (t.tn_dip < t.tn_base_dip));
+                ("pauses_ns", pauses t.tn_pauses);
+                ("undo_pauses_ns", pauses t.tn_undo_pauses);
+                ("baseline_pauses_ns", pauses t.tn_base_pauses);
+                ("straggler_pauses_ns", pauses t.tn_straggler_pauses);
+                ( "migrated_by_class",
+                  Obj (List.map (fun (c, n) -> (c, num n)) t.tn_migrated) );
+                ("pauseless_rows", num r.Corpus.Sweep.t_pauseless);
+                ("straggler_fallbacks", num r.Corpus.Sweep.t_fallbacks);
+                ("violations", num r.Corpus.Sweep.t_violations);
+                ("footprints_identical", Bool t.tn_footprints_identical);
+              ] );
         ( "crash_recovery",
           match !crash_result with
           | None -> Null
@@ -1078,6 +1200,8 @@ let () =
     timed "trace_overhead" (fun () -> trace_overhead ~cves:quick_cves ());
     timed "crash_sweep" (fun () ->
         crash_sweep ~cves:(List.filteri (fun i _ -> i < 2) quick_cves) ());
+    timed "transition_sweep" (fun () ->
+        transition_sweep ~cves:(List.filteri (fun i _ -> i < 2) quick_cves) ());
     timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
   end
   else begin
@@ -1098,6 +1222,7 @@ let () =
     timed "store_sweep" (fun () -> store_sweep ());
     timed "trace_overhead" (fun () -> trace_overhead ());
     timed "crash_sweep" (fun () -> crash_sweep ());
+    timed "transition_sweep" (fun () -> transition_sweep ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())
   end;

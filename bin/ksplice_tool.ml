@@ -364,7 +364,75 @@ let cmd_bench_summary path =
          (istr cr "gc_reclaimed_bytes") (fstr "recovery_s")
          (match J.member "ok" cr with
           | Some (J.Bool b) -> string_of_bool b
-          | _ -> "?"))
+          | _ -> "?"));
+    (match J.member "transition" doc with
+     | None | Some J.Null -> ()
+     | Some tn ->
+       let fstr k =
+         match field tn k J.to_float with
+         | Some f -> Printf.sprintf "%.5f" f
+         | None -> "?"
+       in
+       let bstr k =
+         match J.member k tn with
+         | Some (J.Bool b) -> string_of_bool b
+         | _ -> "?"
+       in
+       Printf.printf
+         "transition:           %s CVEs, %s threads — dip %s vs \
+          stop_machine %s (below=%s), %s pauseless row(s), %s fallback(s), \
+          %s violation(s), footprints identical=%s\n"
+         (istr tn "cves") (istr tn "threads") (fstr "dip")
+         (fstr "baseline_dip")
+         (bstr "dip_below_baseline")
+         (istr tn "pauseless_rows")
+         (istr tn "straggler_fallbacks")
+         (istr tn "violations")
+         (bstr "footprints_identical");
+       (match field tn "migrated_by_class" (fun j ->
+            match j with J.Obj kvs -> Some kvs | _ -> None)
+        with
+        | None | Some [] -> ()
+        | Some kvs ->
+          Printf.printf "  migrated by class:  %s\n"
+            (String.concat ", "
+               (List.filter_map
+                  (fun (k, v) ->
+                    Option.map
+                      (fun n -> Printf.sprintf "%s=%d" k n)
+                      (J.to_int v))
+                  kvs)));
+       (* pause percentiles: the histogram the paper's §5.2 pause cost
+          collapses into. Nearest-rank over the recorded pauses. *)
+       let percentile sorted p =
+         let n = Array.length sorted in
+         if n = 0 then 0
+         else
+           sorted.(min (n - 1)
+                     (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+       in
+       let pauses_of k =
+         match field tn k J.to_list with
+         | None -> [||]
+         | Some l ->
+           let a = Array.of_list (List.filter_map J.to_int l) in
+           Array.sort compare a;
+           a
+       in
+       List.iter
+         (fun (label, key) ->
+           let a = pauses_of key in
+           if Array.length a > 0 then
+             Printf.printf
+               "  pause %-18s p50 %8d ns   p99 %8d ns   max %8d ns\n" label
+               (percentile a 50.0) (percentile a 99.0)
+               (percentile a 100.0))
+         [
+           ("(per-thread)", "pauses_ns");
+           ("(undo)", "undo_pauses_ns");
+           ("(stop_machine)", "baseline_pauses_ns");
+           ("(straggler)", "straggler_pauses_ns");
+         ])
 
 let cmd_fault_sweep cve_ids seed jobs =
   (* every cell intentionally aborts an apply; the per-abort warnings are
@@ -421,6 +489,33 @@ let cmd_crash_sweep cve_ids seed jobs =
   print_newline ();
   Format.printf "%a@." Corpus.Sweep.pp_crash report;
   if not (Corpus.Sweep.crash_ok report) then exit 1
+
+let cmd_transition_sweep cve_ids jobs =
+  let cves =
+    match cve_ids with
+    | [] -> Corpus.Sweep.transition_sample ()
+    | ids ->
+      List.map
+        (fun id ->
+          match Corpus.Cve.find id with
+          | Some c -> c
+          | None ->
+            Printf.eprintf "error: unknown CVE %s (try list-cves)\n" id;
+            exit 1)
+        ids
+  in
+  Printf.printf
+    "applying %d CVE(s) mid-flight through the per-thread engagement, \
+     against a stop_machine twin...\n%!"
+    (List.length cves);
+  let report =
+    Corpus.Sweep.run_transition ~cves ?domains:jobs
+      ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+      ()
+  in
+  print_newline ();
+  Format.printf "%a@." Corpus.Sweep.pp_transition report;
+  if not (Corpus.Sweep.transition_ok report) then exit 1
 
 (* --- the supervised sweep: manager-run / manager-report --- *)
 
@@ -1135,6 +1230,36 @@ let crash_sweep_cmd =
       const (fun v c s j -> setup_logs v; cmd_crash_sweep c s j)
       $ verbose_t $ cves $ seed $ jobs)
 
+let transition_sweep_cmd =
+  let cves =
+    Arg.(
+      value & opt_all string []
+      & info [ "cve" ] ~docv:"ID"
+          ~doc:
+            "Sweep only this CVE (repeatable; default: every 8th corpus \
+             CVE).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Sweep up to $(docv) CVEs concurrently (default: one per core; \
+             1 forces a serial sweep).")
+  in
+  Cmd.v
+    (Cmd.info "transition-sweep"
+       ~doc:
+         "Apply each sampled CVE while a multi-threaded workload is \
+          running, through the per-thread consistency model, and hold it \
+          to the stop_machine baseline: zero pause, byte-identical \
+          footprints, a converging reverse transition, and a bounded \
+          fallback for forced stragglers")
+    Term.(
+      const (fun v c j -> setup_logs v; cmd_transition_sweep c j)
+      $ verbose_t $ cves $ jobs)
+
 let repo_dir_t =
   Arg.(
     required
@@ -1177,6 +1302,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
-            demo_cmd; fault_sweep_cmd; crash_sweep_cmd; fsck_cmd; gc_cmd;
+            demo_cmd; fault_sweep_cmd; crash_sweep_cmd; transition_sweep_cmd;
+            fsck_cmd; gc_cmd;
             manager_run_cmd; manager_report_cmd; trace_cmd; metrics_cmd;
             store_stats_cmd; bench_summary_cmd ]))

@@ -36,7 +36,7 @@ let () =
      unit, no preparation for hot updates whatsoever *)
   let tree = Tree.of_list [ ("kernel/main.c", kernel_source) ] in
   let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-  let image = Image.link ~base:0x100000 (Kbuild.objects build) in
+  let image = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
   let machine = Machine.create image in
   let call name args =
     let sym = Option.get (Image.lookup_global image name) in

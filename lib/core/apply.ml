@@ -216,6 +216,47 @@ let hook_syms (primary : Objfile.t) kind =
 
 exception Fail of error
 
+(* --- engagement: how trampolines land ---
+
+   The capture/quiesce/trampoline phase is pluggable. The default
+   engagement is the paper's §5.2 stop_machine loop; a per-thread
+   engagement ([Manager.Transition.engage]) installs dispatch stubs and
+   migrates threads at safe points instead, demoting stop_machine to a
+   straggler fallback. The engagement receives everything it needs to
+   drive the phase and must call [e_install] exactly once on success. *)
+
+type engagement = {
+  e_machine : Machine.t;
+  e_update : string;
+  e_direction : [ `Apply | `Undo ];
+  e_functions : string list;  (* names, for quiescence diagnostics *)
+  e_dispatch : (int * int) list;
+      (* (patched entry, replacement entry) dispatch stubs *)
+  e_route_migrated : bool;
+      (* apply: migrated threads are routed to the replacement;
+         undo: unmigrated threads are (the entry holds the other side) *)
+  e_guard_ranges : (int * int) list;
+      (* a thread must be clear of these to migrate (and for the
+         stop_machine fallback to fire) *)
+  e_enter : Txn.step -> unit;  (* advance the transaction step marker *)
+  e_sched : (unit -> unit) -> unit;
+      (* run scheduler work with its writes journaled as [Txn.Sched] *)
+  e_prepare : unit -> unit;
+      (* make the fall-through side executable (undo restores the saved
+         entry bytes); a no-op for apply *)
+  e_install : unit -> unit;
+      (* land the end state: apply writes the permanent jumps and runs
+         the apply hooks; undo replays the journal and runs the reverse
+         hooks *)
+}
+
+(* An engagement reports failure by raising with a pipeline error (for
+   example [Not_quiescent] when even the fallback cannot converge); the
+   transaction rolls back as for any other step failure. *)
+exception Engage_failed of error
+
+type engage_fn = engagement -> int
+
 let run_hooks t ~resolve (update : Update.t) kind =
   List.iter
     (fun sym ->
@@ -230,7 +271,7 @@ let run_hooks t ~resolve (update : Update.t) kind =
 let apply ?(tolerance = Runpre.full_tolerance)
     ?(max_attempts = default_max_attempts)
     ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
-    ?(retry_budget = default_retry_budget) ?deadline ?inject t
+    ?(retry_budget = default_retry_budget) ?deadline ?inject ?engage t
     (update : Update.t) =
   Trace.with_span "apply" ~fields:[ ("update", Trace.Str update.update_id) ]
   @@ fun () ->
@@ -263,6 +304,10 @@ let apply ?(tolerance = Runpre.full_tolerance)
     if List.exists (fun a -> a.update.Update.update_id = update.update_id)
          t.stack
     then raise (Fail (Already_applied update.update_id));
+    (match Machine.transition_update t.m with
+     | Some id ->
+       raise (Fail (Integrity ("a transition is already in flight for " ^ id)))
+     | None -> ());
     Log.info (fun k ->
         k "applying update %s (%d replaced functions, %d helpers)"
           update.update_id
@@ -313,8 +358,11 @@ let apply ?(tolerance = Runpre.full_tolerance)
       | None -> resolve
     in
     let writes =
-      try Modlink.relocate m0d ~resolve:link_resolve
-      with Modlink.Load_error msg -> raise (Fail (Unresolved_symbol msg))
+      match Modlink.relocate m0d ~resolve:link_resolve with
+      | Ok writes -> writes
+      | Error e ->
+        raise
+          (Fail (Unresolved_symbol (Format.asprintf "%a" Modlink.pp_error e)))
     in
     let module_ranges =
       List.map
@@ -495,7 +543,26 @@ let apply ?(tolerance = Runpre.full_tolerance)
         end
       end
     in
-    let pause_ns = attempt 0 0 in
+    let pause_ns =
+      match engage with
+      | None -> attempt 0 0
+      | Some f -> (
+        let eng =
+          { e_machine = t.m;
+            e_update = update.update_id;
+            e_direction = `Apply;
+            e_functions = List.map (fun r -> r.r_fn) replacements;
+            e_dispatch =
+              List.map (fun r -> (r.r_old_addr, r.r_new_addr)) replacements;
+            e_route_migrated = true;
+            e_guard_ranges = guard_ranges;
+            e_enter = enter;
+            e_sched = (fun g -> Txn.with_tag txn Txn.Sched g);
+            e_prepare = (fun () -> ());
+            e_install = insert }
+        in
+        try f eng with Engage_failed e -> raise (Fail e))
+    in
     (* === commit === *)
     enter Txn.Commit;
     Txn.with_tag txn Txn.Hook (fun () ->
@@ -531,13 +598,17 @@ let apply ?(tolerance = Runpre.full_tolerance)
 
 let undo ?(max_attempts = default_max_attempts)
     ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
-    ?(retry_budget = default_retry_budget) ?deadline t update_id =
+    ?(retry_budget = default_retry_budget) ?deadline ?engage t update_id =
   Trace.with_span "undo" ~fields:[ ("update", Trace.Str update_id) ]
   @@ fun () ->
   (* undo is transactional too: a faulted reverse hook or quiescence
      failure leaves the update applied and the kernel untouched *)
   let txn = Txn.begin_ t.m in
   try
+    (match Machine.transition_update t.m with
+     | Some id ->
+       raise (Fail (Integrity ("a transition is already in flight for " ^ id)))
+     | None -> ());
     (match t.stack with
      | [] -> raise (Fail (Not_applied update_id))
      | top :: rest ->
@@ -572,16 +643,19 @@ let undo ?(max_attempts = default_max_attempts)
          List.map (fun r -> (r.r_new_addr, r.r_new_addr + r.r_new_size))
            top.replacements
        in
+       let install () =
+         (* replay the apply journal: trampolines out first, then
+            module bytes — the image returns to its pre-apply
+            contents byte for byte *)
+         Txn.replay top.journal t.m;
+         Txn.with_tag txn Txn.Hook (fun () ->
+             run_hooks t ~resolve top.update Ast.Hook_reverse)
+       in
        let rec attempt n spent =
          let ok, _pause =
            Machine.stop_machine t.m (fun () ->
                if quiescent t.m guard_ranges then begin
-                 (* replay the apply journal: trampolines out first, then
-                    module bytes — the image returns to its pre-apply
-                    contents byte for byte *)
-                 Txn.replay top.journal t.m;
-                 Txn.with_tag txn Txn.Hook (fun () ->
-                     run_hooks t ~resolve top.update Ast.Hook_reverse);
+                 install ();
                  true
                end
                else false)
@@ -619,7 +693,33 @@ let undo ?(max_attempts = default_max_attempts)
            end
          end
        in
-       attempt 0 0;
+       (match engage with
+        | None -> attempt 0 0
+        | Some f ->
+          let eng =
+            { e_machine = t.m;
+              e_update = update_id;
+              e_direction = `Undo;
+              e_functions = List.map (fun r -> r.r_fn) top.replacements;
+              e_dispatch =
+                List.map (fun r -> (r.r_old_addr, r.r_new_addr))
+                  top.replacements;
+              (* reverse transition: the entry regains its original
+                 bytes, so unmigrated threads must be routed to the
+                 still-live new code while migrated ones fall through *)
+              e_route_migrated = false;
+              e_guard_ranges = guard_ranges;
+              e_enter = (fun s -> Txn.enter txn s);
+              e_sched = (fun g -> Txn.with_tag txn Txn.Sched g);
+              e_prepare =
+                (fun () ->
+                  List.iter
+                    (fun (addr, bytes) -> Machine.write_bytes t.m addr bytes)
+                    top.saved);
+              e_install = install }
+          in
+          (try ignore (f eng : int)
+           with Engage_failed e -> raise (Fail e)));
        Txn.with_tag txn Txn.Hook (fun () ->
            run_hooks t ~resolve top.update Ast.Hook_post_reverse);
        Machine.remove_kallsyms t.m (fun s ->
@@ -729,3 +829,48 @@ let verify t =
             (fun acc r -> Result.bind acc (fun () -> check_replacement r))
             (check_module a) owned))
     (Ok ()) t.stack
+
+(* [footprint] is the canonical description of what the applied stack
+   planted in the machine: per update (oldest first) the live bytes at
+   every patched entry, the replacement {e text} read back from memory
+   (data sections are mutable at runtime and excluded), and the symbols
+   published to kallsyms. Two machines that applied the same updates —
+   by any engagement — must agree byte for byte, regardless of what
+   their schedulers did meanwhile. *)
+let footprint t =
+  let buf = Buffer.create 256 in
+  let hex b =
+    Bytes.iter
+      (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+      b
+  in
+  List.iter
+    (fun a ->
+      let in_text off =
+        List.exists (fun (lo, hi) -> off >= lo && off < hi) a.priv_ranges
+      in
+      Buffer.add_string buf (a.update.Update.update_id ^ "{");
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (Printf.sprintf "%s@%#x:" r.r_fn r.r_old_addr);
+          hex (Machine.read_bytes t.m r.r_old_addr jump_size);
+          Buffer.add_char buf ';')
+        a.replacements;
+      List.iter
+        (fun (addr, bytes) ->
+          let current = Machine.read_bytes t.m addr (Bytes.length bytes) in
+          Buffer.add_string buf (Printf.sprintf "%#x:" addr);
+          Bytes.iteri
+            (fun i c ->
+              if in_text (addr + i) then
+                Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+            current;
+          Buffer.add_char buf ';')
+        a.module_image;
+      List.iter
+        (fun (s : Image.syminfo) ->
+          Buffer.add_string buf (Printf.sprintf "%s=%#x;" s.name s.addr))
+        a.added_symbols;
+      Buffer.add_string buf "}")
+    (List.rev t.stack);
+  Buffer.contents buf

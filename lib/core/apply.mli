@@ -85,6 +85,67 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
+(** {2 Engagements: how trampolines land}
+
+    The capture/quiesce/trampoline phase of the pipeline is pluggable.
+    The default engagement is the paper's §5.2 [stop_machine] loop; a
+    per-thread engagement ([Manager.Transition.engage]) instead installs
+    dispatch stubs, migrates threads at safe points with the machine
+    running, and demotes [stop_machine] to a bounded straggler fallback.
+
+    An engagement receives the record below and must call [e_prepare]
+    before activating any transition and [e_install] exactly once on
+    success; it returns the total simulated pause in nanoseconds its
+    strategy imposed on the machine (0 for a pauseless transition). It
+    reports failure by raising {!Engage_failed} with a pipeline error;
+    the transaction then rolls back as for any other step failure. *)
+
+type engagement = {
+  e_machine : Kernel.Machine.t;
+  e_update : string;
+  e_direction : [ `Apply | `Undo ];
+  e_functions : string list;  (** names, for quiescence diagnostics *)
+  e_dispatch : (int * int) list;
+      (** (patched entry, replacement entry) dispatch stubs *)
+  e_route_migrated : bool;
+      (** apply: migrated threads are routed to the replacement; undo:
+          unmigrated threads are (the entry holds the other side) *)
+  e_guard_ranges : (int * int) list;
+      (** a thread must be clear of these to migrate (and for the
+          stop_machine fallback to fire) *)
+  e_enter : Txn.step -> unit;  (** advance the transaction step marker *)
+  e_sched : (unit -> unit) -> unit;
+      (** run scheduler work with its writes journaled as [Txn.Sched] *)
+  e_prepare : unit -> unit;
+      (** make the fall-through side executable (undo restores the saved
+          entry bytes); a no-op for apply *)
+  e_install : unit -> unit;
+      (** land the end state: apply writes the permanent jumps and runs
+          the apply hooks; undo replays the journal and runs the reverse
+          hooks *)
+}
+
+exception Engage_failed of error
+
+type engage_fn = engagement -> int
+
+(** {2 Quiescence primitives}
+
+    Exposed for engagements and diagnostics: the conservative §5.2
+    check over a set of guard ranges. *)
+
+(** Does [th] execute inside [ranges], or hold a stack word pointing
+    into them? Exited and faulted threads never block. *)
+val thread_blocks :
+  Kernel.Machine.t -> (int * int) list -> Kernel.Machine.thread -> bool
+
+(** No live thread blocks any of [ranges]. *)
+val quiescent : Kernel.Machine.t -> (int * int) list -> bool
+
+(** The threads still holding [ranges], with backtraces. *)
+val blocking_threads :
+  Kernel.Machine.t -> (int * int) list -> (string * string list) list
+
 (** The update manager: tracks applied updates on one machine (the role of
     the Ksplice core kernel module). *)
 type t
@@ -115,7 +176,10 @@ val applied : t -> applied list
     [tolerance] selects run-pre matcher capabilities (ablation
     experiments only). [inject] threads a {!Faultinj.session} through
     the pipeline — each step boundary notifies the session so it can arm
-    and disarm its machine-level fault hooks. *)
+    and disarm its machine-level fault hooks. [engage] substitutes a
+    custom {!engage_fn} for the default stop_machine loop; applying (or
+    undoing) while another update's transition is in flight fails with
+    [Integrity]. *)
 val apply :
   ?tolerance:Runpre.tolerance ->
   ?max_attempts:int ->
@@ -124,6 +188,7 @@ val apply :
   ?retry_budget:int ->
   ?deadline:int ->
   ?inject:Faultinj.session ->
+  ?engage:engage_fn ->
   t -> Update.t ->
   (applied, error) result
 
@@ -131,13 +196,17 @@ val apply :
     transactionally (same backoff parameters as {!apply}). On success
     the kernel image is byte-identical to its pre-apply contents at the
     journaled addresses; on failure it is wholly unchanged and the
-    update remains applied. *)
+    update remains applied. With [engage], the reversal runs as a
+    {e reverse transition}: the saved entry bytes come back first, then
+    threads migrate to the old code at safe points while stragglers on
+    the replacement are routed through dispatch stubs. *)
 val undo :
   ?max_attempts:int ->
   ?retry_base:int ->
   ?retry_cap:int ->
   ?retry_budget:int ->
   ?deadline:int ->
+  ?engage:engage_fn ->
   t -> string ->
   (unit, error) result
 
@@ -148,3 +217,13 @@ val undo :
     damage {e after} — a stray memory write over a trampoline or module,
     for instance. *)
 val verify : t -> (unit, error) result
+
+(** [footprint t] is a canonical string describing what the applied
+    stack planted in the machine: per update (oldest first), the live
+    bytes at every patched entry, the replacement {e text} read back
+    from memory (mutable data sections are excluded), and the symbols
+    published to kallsyms. Two machines that applied the same updates —
+    by any engagement, under any workload — must produce equal
+    footprints; the transition benchmarks assert exactly that against
+    the stop_machine baseline. *)
+val footprint : t -> string

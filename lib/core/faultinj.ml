@@ -22,6 +22,9 @@ let kind_for_step = function
   | Txn.Relocate -> Corrupt_reloc
   | Txn.Hook_pre -> Hook_fault
   | Txn.Capture -> Sched_perturb
+  (* the transition step only runs under a per-thread engagement; its
+     canonical perturbation is scheduler noise, which must be benign *)
+  | Txn.Transition -> Sched_perturb
   | Txn.Quiesce -> Forced_not_quiescent
   | Txn.Trampoline -> Hook_fault
   | Txn.Commit -> Hook_fault

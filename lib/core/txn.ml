@@ -6,12 +6,14 @@ type step =
   | Relocate
   | Hook_pre
   | Capture
+  | Transition
   | Quiesce
   | Trampoline
   | Commit
 
 let all_steps =
-  [ Allocate; Link; Relocate; Hook_pre; Capture; Quiesce; Trampoline; Commit ]
+  [ Allocate; Link; Relocate; Hook_pre; Capture; Transition; Quiesce;
+    Trampoline; Commit ]
 
 let step_name = function
   | Allocate -> "allocate"
@@ -19,6 +21,7 @@ let step_name = function
   | Relocate -> "relocate"
   | Hook_pre -> "hook-pre"
   | Capture -> "capture"
+  | Transition -> "transition"
   | Quiesce -> "quiesce"
   | Trampoline -> "trampoline"
   | Commit -> "commit"

@@ -23,6 +23,9 @@ type step =
   | Relocate  (** write + verify module bytes, publish symbols *)
   | Hook_pre  (** ksplice_pre_apply hooks *)
   | Capture  (** first stop_machine rendezvous *)
+  | Transition
+      (** per-thread transition: dispatch stubs live, threads migrating
+          at safe points (only entered by a per-thread engagement) *)
   | Quiesce  (** §5.2 stack/IP check with backoff retries *)
   | Trampoline  (** jump insertion + ksplice_apply hooks *)
   | Commit  (** ksplice_post_apply hooks, record the update *)

@@ -22,7 +22,7 @@ let call_if_present b name args =
 let boot ?(workers = 0) ?tree () =
   let tree = match tree with Some t -> t | None -> Base_kernel.tree () in
   let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-  let image = Image.link ~base:0x100000 (Kbuild.objects build) in
+  let image = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
   let machine = Machine.create image in
   let b = { build; image; machine } in
   List.iter (fun f -> call_if_present b f []) Base_kernel.init_functions;

@@ -781,3 +781,309 @@ let pp_crash ppf r =
     Format.fprintf ppf
       "every crash point recovered to fsck-clean with the chain \
        all-or-nothing; gc reclaimed only unreachable blobs@\n"
+
+(* ---------- the transition sweep: patch under load, no global pause ----------
+
+   Twin machines run the same busy multi-threaded stress workload. Mid-
+   flight, machine A applies the CVE's update through the per-thread
+   engagement (Manager.Transition) and machine B through the paper's
+   stop_machine loop. The per-thread apply must converge with zero
+   pause and zero forced migrations, both workloads must keep their
+   invariants, and the two machines must end with byte-identical patch
+   footprints. The same twin discipline then covers the reverse
+   transition (undo under load) and a forced-straggler apply, where a
+   thread parked asleep inside the patched function must demote the
+   engagement to the bounded stop_machine fallback — which must still
+   land the identical footprint. *)
+
+module Transition = Manager.Transition
+
+type trow = {
+  t_cve : string;
+  t_threads : int;
+  t_pause_ns : int;  (* per-thread apply pause (0 = pauseless) *)
+  t_undo_pause_ns : int;
+  t_base_pause_ns : int;  (* stop_machine baseline pause under load *)
+  t_migrated : (string * int) list;  (* safe-point class -> threads *)
+  t_rounds : int;
+  t_sched_steps : int;
+  t_straggler_forced : int;
+  t_straggler_pause_ns : int;
+  t_notes : string list;  (* contract breaches; [] = row passed *)
+}
+
+type treport = {
+  t_rows : trow list;
+  t_pauseless : int;  (* rows whose per-thread apply never paused *)
+  t_fallbacks : int;  (* straggler cells that engaged the fallback *)
+  t_violations : int;
+}
+
+(* generous §5.2 bounds for the baseline twin: under the stress load it
+   must converge (the comparison needs a successful baseline), however
+   many backoff rounds that takes *)
+let baseline_apply mgr update =
+  Apply.apply mgr ~max_attempts:64 ~retry_budget:400_000 ~retry_cap:8_000
+    update
+
+let baseline_undo mgr id =
+  Apply.undo mgr ~max_attempts:64 ~retry_budget:400_000 ~retry_cap:8_000 id
+
+(* the entry address of the first replaced function — where the
+   straggler cell parks a sleeping thread (same recipe as the manager
+   sweep's adversarial churner, but asleep mid-function) *)
+let replaced_entry machine (update : Ksplice.Update.t) =
+  match update.replaced_functions with
+  | [] -> None
+  | (_, cfn) :: _ ->
+    let raw, _ = Ksplice.Update.split_canonical cfn in
+    (match
+       Machine.lookup_name machine raw
+       |> List.filter (fun (s : Klink.Image.syminfo) -> s.kind = `Func)
+     with
+     | [ s ] -> Some s.addr
+     | _ -> None)
+
+(* [Stress.run] is single-use per boot (its host-side check expects each
+   counter to equal exactly one run's iterations), so every phase gets a
+   fresh pair of twin machines *)
+let run_tcell (cve : Cve.t) update =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := !notes @ [ s ]) fmt in
+  let check_stress who (r : Stress.report) =
+    if not r.ok then
+      note "stress %s: %s" who (String.concat "; " r.failures)
+  in
+  let compare_footprints mgra mgrb when_ =
+    if not (String.equal (Apply.footprint mgra) (Apply.footprint mgrb))
+    then note "footprints diverge %s" when_
+  in
+  (* --- 1. apply under load: per-thread vs stop_machine --- *)
+  let ba = Boot.boot () in
+  let bb = Boot.boot () in
+  let mgra = Apply.init ba.Boot.machine in
+  let mgrb = Apply.init bb.Boot.machine in
+  let apply_stats = ref None in
+  let engage = Transition.engage ~on_stats:(fun s -> apply_stats := Some s) () in
+  check_stress "under per-thread apply"
+    (Stress.run ba ~during:(fun () ->
+         match Apply.apply mgra ~engage update with
+         | Ok _ -> ()
+         | Error e -> note "per-thread apply failed: %s" (err_str e)));
+  let base_pause = ref 0 in
+  check_stress "under baseline apply"
+    (Stress.run bb ~during:(fun () ->
+         match baseline_apply mgrb update with
+         | Ok a -> base_pause := a.Apply.pause_ns
+         | Error e -> note "baseline apply failed: %s" (err_str e)));
+  (match !apply_stats with
+   | None -> ()
+   | Some s ->
+     if s.Transition.st_fallback then
+       note "per-thread apply fell back to stop_machine (%d forced)"
+         s.Transition.st_forced;
+     if s.Transition.st_pause_ns <> 0 then
+       note "per-thread apply paused %d ns" s.Transition.st_pause_ns);
+  compare_footprints mgra mgrb "after apply under load";
+  (match Apply.verify mgra with
+   | Ok () -> ()
+   | Error e -> note "transitioned machine does not verify: %s" (err_str e));
+  (match Exploits.find cve.id with
+   | None -> ()
+   | Some ex ->
+     let o = ex.run ba in
+     if o.succeeded then
+       note "exploit still succeeds after per-thread apply: %s" o.detail);
+  (* --- 2. undo under load: reverse transition vs stop_machine --- *)
+  let ba2 = Boot.boot () in
+  let bb2 = Boot.boot () in
+  let mgra2 = Apply.init ba2.Boot.machine in
+  let mgrb2 = Apply.init bb2.Boot.machine in
+  let apply_at_rest mgr who =
+    match Apply.apply mgr update with
+    | Ok _ -> ()
+    | Error e -> note "%s apply at rest failed: %s" who (err_str e)
+  in
+  apply_at_rest mgra2 "per-thread twin";
+  apply_at_rest mgrb2 "baseline twin";
+  let saved_a =
+    match Apply.applied mgra2 with a :: _ -> a.Apply.saved | [] -> []
+  in
+  let undo_stats = ref None in
+  let engage_undo =
+    Transition.engage ~on_stats:(fun s -> undo_stats := Some s) ()
+  in
+  check_stress "under reverse transition"
+    (Stress.run ba2 ~during:(fun () ->
+         match Apply.undo mgra2 ~engage:engage_undo cve.id with
+         | Ok () -> ()
+         | Error e -> note "reverse transition failed: %s" (err_str e)));
+  check_stress "under baseline undo"
+    (Stress.run bb2 ~during:(fun () ->
+         match baseline_undo mgrb2 cve.id with
+         | Ok () -> ()
+         | Error e -> note "baseline undo failed: %s" (err_str e)));
+  (* the reverse transition must restore the entry bytes exactly *)
+  List.iter
+    (fun (addr, bytes) ->
+      let got =
+        Machine.read_bytes ba2.Boot.machine addr (Bytes.length bytes)
+      in
+      if not (Bytes.equal got bytes) then
+        note "entry bytes at %#x not restored by the reverse transition"
+          addr)
+    saved_a;
+  (match !undo_stats with
+   | None -> ()
+   | Some s ->
+     if s.Transition.st_pause_ns <> 0 then
+       note "reverse transition paused %d ns" s.Transition.st_pause_ns);
+  (* --- 3. forced straggler: bounded fallback must converge --- *)
+  let straggler_stats = ref None in
+  let ba3 = Boot.boot () in
+  (match replaced_entry ba3.Boot.machine update with
+   | None -> ()
+   | Some entry ->
+     let bb3 = Boot.boot () in
+     let mgra3 = Apply.init ba3.Boot.machine in
+     let mgrb3 = Apply.init bb3.Boot.machine in
+     let straggle machine =
+       (* a thread parked asleep at the patched function's entry: its pc
+          sits in the guard range and it cannot reach a safe point until
+          it wakes — long after the migration budget below *)
+       let th =
+         Machine.spawn machine ~name:"straggler" ~uid:1 ~entry
+           ~args:[ 1l ]
+       in
+       th.Machine.state <- Machine.Sleeping (Machine.tick machine + 3_000)
+     in
+     let eng =
+       Transition.engage
+         ~policy:{ Transition.default_policy with budget = 2_000 }
+         ~on_stats:(fun s -> straggler_stats := Some s)
+         ()
+     in
+     check_stress "under straggler apply"
+       (Stress.run ba3 ~during:(fun () ->
+            straggle ba3.Boot.machine;
+            match Apply.apply mgra3 ~engage:eng update with
+            | Ok _ -> ()
+            | Error e -> note "straggler apply failed: %s" (err_str e)));
+     check_stress "under straggler baseline"
+       (Stress.run bb3 ~during:(fun () ->
+            straggle bb3.Boot.machine;
+            match baseline_apply mgrb3 update with
+            | Ok _ -> ()
+            | Error e ->
+              note "straggler baseline apply failed: %s" (err_str e)));
+     (match !straggler_stats with
+      | None -> ()
+      | Some s ->
+        if not s.Transition.st_fallback then
+          note "straggler cell never engaged the stop_machine fallback";
+        if s.Transition.st_forced < 1 then
+          note "the straggler was never force-migrated");
+     compare_footprints mgra3 mgrb3 "after the straggler apply");
+  let stats = !apply_stats in
+  let classes s =
+    List.filter_map
+      (fun (c, n) ->
+        if n = 0 then None else Some (Transition.sp_class_name c, n))
+      (Transition.migrated_by_class s)
+  in
+  { t_cve = cve.id;
+    t_threads =
+      (match stats with Some s -> s.Transition.st_threads | None -> 0);
+    t_pause_ns =
+      (match stats with Some s -> s.Transition.st_pause_ns | None -> -1);
+    t_undo_pause_ns =
+      (match !undo_stats with
+       | Some s -> s.Transition.st_pause_ns
+       | None -> -1);
+    t_base_pause_ns = !base_pause;
+    t_migrated = (match stats with Some s -> classes s | None -> []);
+    t_rounds = (match stats with Some s -> s.Transition.st_rounds | None -> 0);
+    t_sched_steps =
+      (match stats with Some s -> s.Transition.st_sched_steps | None -> 0);
+    t_straggler_forced =
+      (match !straggler_stats with
+       | Some s -> s.Transition.st_forced
+       | None -> 0);
+    t_straggler_pause_ns =
+      (match !straggler_stats with
+       | Some s -> s.Transition.st_pause_ns
+       | None -> 0);
+    t_notes = !notes }
+
+(* same deterministic corpus sample as the crash sweep: each row costs
+   six stress runs across its twin machines *)
+let transition_sample () = List.filteri (fun i _ -> i mod 8 = 0) Cve.all
+
+let run_transition ?cves ?progress ?domains () =
+  let cves = match cves with Some l -> l | None -> transition_sample () in
+  let base = Base_kernel.tree () in
+  let progress_m = Mutex.create () in
+  let emit line =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_m;
+      f line;
+      Mutex.unlock progress_m
+  in
+  let rows =
+    Parallel.map ?domains
+      (fun cve ->
+        let update = create_update cve base in
+        let row = run_tcell cve update in
+        emit
+          (Printf.sprintf "%-14s pause %d ns (baseline %d ns) forced %d%s"
+             row.t_cve row.t_pause_ns row.t_base_pause_ns
+             row.t_straggler_forced
+             (if row.t_notes = [] then "" else "  VIOLATION"));
+        row)
+      cves
+  in
+  { t_rows = rows;
+    t_pauseless =
+      List.length (List.filter (fun r -> r.t_pause_ns = 0) rows);
+    t_fallbacks =
+      List.length (List.filter (fun r -> r.t_straggler_forced > 0) rows);
+    t_violations =
+      List.fold_left (fun acc r -> acc + List.length r.t_notes) 0 rows }
+
+let transition_ok r = r.t_violations = 0
+
+let pp_transition ppf r =
+  Format.fprintf ppf
+    "transition sweep: %d CVEs applied and undone mid-stress, per-thread \
+     vs stop_machine twins@\n@\n"
+    (List.length r.t_rows);
+  Format.fprintf ppf "%-16s %4s %9s %9s %7s %6s %s@\n" "CVE" "thr"
+    "pause(ns)" "base(ns)" "forced" "rounds" "migrated-by";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-16s %4d %9d %9d %7d %6d %s%s@\n" row.t_cve
+        row.t_threads row.t_pause_ns row.t_base_pause_ns
+        row.t_straggler_forced row.t_rounds
+        (String.concat ","
+           (List.map
+              (fun (c, n) -> Printf.sprintf "%s=%d" c n)
+              row.t_migrated))
+        (if row.t_notes = [] then "" else "  VIOLATION"))
+    r.t_rows;
+  Format.fprintf ppf
+    "@\nrows: %d  pauseless applies: %d  straggler fallbacks: %d  \
+     violations: %d@\n"
+    (List.length r.t_rows) r.t_pauseless r.t_fallbacks r.t_violations;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun m -> Format.fprintf ppf "VIOLATION %s: %s@\n" row.t_cve m)
+        row.t_notes)
+    r.t_rows;
+  if transition_ok r then
+    Format.fprintf ppf
+      "every update landed and reversed under load with zero pause and a \
+       byte-identical footprint; every straggler converged through the \
+       bounded fallback@\n"

@@ -183,3 +183,61 @@ val crash_sample : unit -> Cve.t list
 val crash_ok : crash_report -> bool
 
 val pp_crash : Format.formatter -> crash_report -> unit
+
+(** {1 The transition sweep: patch under load with no global pause}
+
+    Twin machines run the same busy multi-threaded stress workload;
+    mid-flight, machine A applies the CVE's update through the
+    per-thread engagement ({!Manager.Transition.engage}) and machine B
+    through the paper's §5.2 stop_machine loop. Contracts per row:
+
+    - both workloads keep every invariant across the live patch;
+    - the per-thread apply converges with {e zero} simulated pause, no
+      forced migrations, and no fallback;
+    - both machines end with byte-identical patch footprints
+      ([Apply.footprint]);
+    - the reverse transition (undo under load) restores the saved entry
+      bytes exactly and the footprints agree again;
+    - a forced straggler — a thread parked asleep inside the patched
+      function — demotes the engagement to the bounded stop_machine
+      fallback, which must converge, force-migrate it, and still land
+      the identical footprint. *)
+
+type trow = {
+  t_cve : string;
+  t_threads : int;  (** threads alive when the transition began *)
+  t_pause_ns : int;  (** per-thread apply pause (0 = pauseless) *)
+  t_undo_pause_ns : int;  (** reverse-transition pause *)
+  t_base_pause_ns : int;  (** stop_machine baseline pause under load *)
+  t_migrated : (string * int) list;  (** safe-point class -> threads *)
+  t_rounds : int;  (** migration rounds of the per-thread apply *)
+  t_sched_steps : int;  (** instructions the machine ran meanwhile *)
+  t_straggler_forced : int;  (** forced migrations in the straggler cell *)
+  t_straggler_pause_ns : int;  (** fallback pause in the straggler cell *)
+  t_notes : string list;  (** contract breaches; [[]] = row passed *)
+}
+
+type treport = {
+  t_rows : trow list;
+  t_pauseless : int;  (** rows whose per-thread apply never paused *)
+  t_fallbacks : int;  (** straggler cells that engaged the fallback *)
+  t_violations : int;
+}
+
+(** [run_transition ?cves ?progress ?domains ()] sweeps [cves] (default:
+    {!transition_sample}). Same fan-out discipline as {!run}; the sweep
+    is deterministic (the machines are). *)
+val run_transition :
+  ?cves:Cve.t list ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  unit ->
+  treport
+
+(** The default sample {!run_transition} sweeps: every 8th corpus CVE. *)
+val transition_sample : unit -> Cve.t list
+
+(** No contract breaches on any row. *)
+val transition_ok : treport -> bool
+
+val pp_transition : Format.formatter -> treport -> unit

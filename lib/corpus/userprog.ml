@@ -14,13 +14,15 @@ let compile ~name ~src =
 
 let load machine ~name ~src =
   let obj = compile ~name ~src in
-  (* measure at a probe base, then place the image in module memory *)
-  let probe = Image.link ~base:0x40_0000 [ obj ] in
-  let base = Machine.alloc_module machine ~size:probe.size ~align:4096 in
-  let img =
-    try Image.link ~base [ obj ]
-    with Image.Link_error m -> err "%s: %s" name m
+  let link base =
+    match Image.link ~base [ obj ] with
+    | Ok img -> img
+    | Error e -> err "%s: %a" name Image.pp_error e
   in
+  (* measure at a probe base, then place the image in module memory *)
+  let probe = link 0x40_0000 in
+  let base = Machine.alloc_module machine ~size:probe.size ~align:4096 in
+  let img = link base in
   Machine.write_bytes machine base img.data;
   match Image.lookup_global img "main" with
   | Some s -> s.addr

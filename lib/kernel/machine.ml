@@ -35,6 +35,31 @@ type thread = {
   mutable uid : int;
   mutable flag_eq : bool;
   mutable flag_lt : bool;
+  (* livepatch-style per-task consistency state: [true] once this thread
+     has been migrated to the goal side of the active transition. Only
+     meaningful while a transition is active; reset to [false] when it
+     begins and ends. Threads spawned mid-transition start migrated (a
+     fresh stack cannot hold frames of either side). *)
+  mutable patch_state : bool;
+}
+
+type safe_point = Sp_syscall | Sp_quantum
+
+let safe_point_name = function
+  | Sp_syscall -> "syscall"
+  | Sp_quantum -> "quantum"
+
+(* An active per-thread transition: dispatch stubs at patched function
+   entries route a thread whose [patch_state] equals [tr_route_state] to
+   the replacement code; everyone else falls through to the bytes at the
+   entry. An apply transition routes migrated threads to new code (the
+   entry still holds old code); a reverse transition routes unmigrated
+   threads to the still-live new code (the entry holds restored old
+   code). *)
+type transition = {
+  tr_update : string;
+  tr_route_state : bool;
+  tr_dispatch : (int, int) Hashtbl.t;  (* function entry -> target *)
 }
 
 type t = {
@@ -75,6 +100,11 @@ type t = {
   mutable inj_alloc : (size:int -> align:int -> bool) option;
   mutable inj_write : (int -> Bytes.t -> Bytes.t) option;
   mutable inj_call : (int -> fault option) option;
+  (* per-thread transition machinery: at most one transition is active;
+     the safepoint hook (installed by the transition manager) is invoked
+     whenever a thread crosses a migration opportunity *)
+  mutable transition : transition option;
+  mutable safepoint_hook : (thread -> safe_point -> unit) option;
 }
 
 exception Vm_fault of fault
@@ -151,6 +181,8 @@ let create ?(mem_size = 0x0200_0000) (img : Klink.Image.t) =
       inj_alloc = None;
       inj_write = None;
       inj_call = None;
+      transition = None;
+      safepoint_hook = None;
     }
   in
   (match Klink.Image.lookup_global img "syscall_entry" with
@@ -213,6 +245,63 @@ let clear_injectors t =
 let set_syscall_entry t a = t.syscall_entry_addr <- Some a
 let syscall_entry t = t.syscall_entry_addr
 
+(* --- per-thread transitions --- *)
+
+let threads t = List.rev t.threads_rev
+
+let begin_transition t ~update ~route_migrated dispatch =
+  (match t.transition with
+   | Some tr ->
+     invalid_arg
+       (Printf.sprintf
+          "Machine.begin_transition: transition for %s already active"
+          tr.tr_update)
+   | None -> ());
+  let tbl = Hashtbl.create (List.length dispatch) in
+  List.iter (fun (entry, target) -> Hashtbl.replace tbl entry target) dispatch;
+  List.iter (fun th -> th.patch_state <- false) t.threads_rev;
+  t.transition <-
+    Some { tr_update = update; tr_route_state = route_migrated;
+           tr_dispatch = tbl }
+
+let end_transition t =
+  if t.transition = None then
+    invalid_arg "Machine.end_transition: no active transition";
+  t.transition <- None;
+  List.iter (fun th -> th.patch_state <- false) t.threads_rev
+
+let transition_update t =
+  Option.map (fun tr -> tr.tr_update) t.transition
+
+let set_safepoint_hook t f = t.safepoint_hook <- f
+
+let migrate_thread th = th.patch_state <- true
+let thread_migrated (th : thread) = th.patch_state
+
+let notify_safepoint t th sp =
+  match t.safepoint_hook with
+  | Some f when t.transition <> None -> f th sp
+  | _ -> ()
+
+(* the dispatch stub: consulted before decoding — the analogue of an
+   ftrace-style handler at the patched entry rewriting the saved ip *)
+let dispatch_redirect t th =
+  match t.transition with
+  | None -> ()
+  | Some tr -> (
+    match Hashtbl.find_opt tr.tr_dispatch th.pc with
+    | Some target when th.patch_state = tr.tr_route_state -> th.pc <- target
+    | _ -> ())
+
+let transition_bindings t =
+  Option.map
+    (fun tr ->
+      ( tr.tr_update,
+        tr.tr_route_state,
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tr.tr_dispatch []) ))
+    t.transition
+
 (* --- memory --- *)
 
 let check t addr size =
@@ -267,7 +356,6 @@ let alloc_module t ~size ~align =
 
 (* --- threads --- *)
 
-let threads t = List.rev t.threads_rev
 let find_thread t tid = List.find_opt (fun th -> th.tid = tid) (threads t)
 
 let push_on th t v =
@@ -296,6 +384,9 @@ let spawn t ~name ~uid ~entry ~args =
       uid;
       flag_eq = false;
       flag_lt = false;
+      (* a thread born mid-transition has a clean stack: start it on the
+         goal side, like livepatch does for fresh tasks *)
+      patch_state = t.transition <> None;
     }
   in
   t.next_tid <- t.next_tid + 1;
@@ -401,6 +492,9 @@ let do_int t th code =
     match t.syscall_entry_addr with
     | None -> raise (Vm_fault No_syscall_entry)
     | Some entry ->
+      (* the syscall boundary is a migration safe point: the thread is in
+         user code, about to enter the kernel fresh *)
+      notify_safepoint t th Sp_syscall;
       (* behaves like a call: push the return address, enter the kernel *)
       let next = th.pc + Isa.length (Isa.Int 0x80) in
       push_on th t (Int32.of_int next);
@@ -410,6 +504,7 @@ let do_int t th code =
 
 (* Execute one instruction. Returns [`Ok | `Yield | `Stop]. *)
 let step t th =
+  dispatch_redirect t th;
   let pc = th.pc in
   let insn, len =
     try Isa.decode (fun a -> check t a 1; Bytes.get_uint8 t.mem a) pc
@@ -611,8 +706,12 @@ let run t ~steps =
     else
       List.iter
         (fun th ->
-          if th.state = Runnable && !executed < steps then
-            executed := !executed + run_thread t th (min quantum (steps - !executed)))
+          if th.state = Runnable && !executed < steps then begin
+            executed :=
+              !executed + run_thread t th (min quantum (steps - !executed));
+            (* the end of a scheduler quantum is a migration safe point *)
+            notify_safepoint t th Sp_quantum
+          end)
         runnable
   done;
   !executed
@@ -641,6 +740,9 @@ let call_function ?(step_limit = 2_000_000) ?(uid = 0) t ~addr ~args =
           uid;
           flag_eq = false;
           flag_lt = false;
+          (* host-initiated calls run on the goal side of any active
+             transition (their stack is fresh) *)
+          patch_state = true;
         }
       in
       th.regs.(8) <- Int32.of_int t.call_stack_hi;
@@ -719,6 +821,7 @@ type thread_snap = {
   ts_uid : int;
   ts_eq : bool;
   ts_lt : bool;
+  ts_patch : bool;
 }
 
 type volatile_state = {
@@ -733,6 +836,8 @@ type volatile_state = {
   v_next_stack_top : int;
   v_syscall : int option;
   v_shadows : (int * int, int) Hashtbl.t;
+  (* a rolled-back transaction must also unwind a mid-flight transition *)
+  v_transition : (string * bool * (int * int) list) option;
 }
 
 let save_volatile t =
@@ -744,7 +849,7 @@ let save_volatile t =
         (fun th ->
           { ts_thread = th; ts_pc = th.pc; ts_regs = Array.copy th.regs;
             ts_state = th.state; ts_uid = th.uid; ts_eq = th.flag_eq;
-            ts_lt = th.flag_lt })
+            ts_lt = th.flag_lt; ts_patch = th.patch_state })
         t.threads_rev;
     v_threads_rev = t.threads_rev;
     v_next_tid = t.next_tid;
@@ -754,6 +859,7 @@ let save_volatile t =
     v_next_stack_top = t.next_stack_top;
     v_syscall = t.syscall_entry_addr;
     v_shadows = Hashtbl.copy t.shadows;
+    v_transition = transition_bindings t;
   }
 
 let restore_volatile t v =
@@ -768,7 +874,8 @@ let restore_volatile t v =
       th.state <- s.ts_state;
       th.uid <- s.ts_uid;
       th.flag_eq <- s.ts_eq;
-      th.flag_lt <- s.ts_lt)
+      th.flag_lt <- s.ts_lt;
+      th.patch_state <- s.ts_patch)
     v.v_threads;
   t.threads_rev <- v.v_threads_rev;
   t.next_tid <- v.v_next_tid;
@@ -782,7 +889,14 @@ let restore_volatile t v =
   t.next_stack_top <- v.v_next_stack_top;
   t.syscall_entry_addr <- v.v_syscall;
   Hashtbl.reset t.shadows;
-  Hashtbl.iter (fun k x -> Hashtbl.replace t.shadows k x) v.v_shadows
+  Hashtbl.iter (fun k x -> Hashtbl.replace t.shadows k x) v.v_shadows;
+  t.transition <-
+    Option.map
+      (fun (update, route, bindings) ->
+        let tbl = Hashtbl.create (List.length bindings) in
+        List.iter (fun (e, tg) -> Hashtbl.replace tbl e tg) bindings;
+        { tr_update = update; tr_route_state = route; tr_dispatch = tbl })
+      v.v_transition
 
 (* --- byte-identity snapshots (rollback verification) --- *)
 
@@ -791,17 +905,20 @@ type snapshot = {
   s_syms : Klink.Image.syminfo list;
   s_priv : (int * int) list;
   s_threads :
-    (int * string * int * int32 array * thread_state * int * bool * bool) list;
+    (int * string * int * int32 array * thread_state * int * bool * bool
+     * bool)
+    list;
   s_tick : int;
   s_console : string;
   s_shadows : ((int * int) * int) list;
+  s_transition : (string * bool * (int * int) list) option;
 }
 
 let thread_tuples t =
   List.map
     (fun th ->
       (th.tid, th.name, th.pc, Array.copy th.regs, th.state, th.uid,
-       th.flag_eq, th.flag_lt))
+       th.flag_eq, th.flag_lt, th.patch_state))
     (threads t)
 
 let shadow_bindings t =
@@ -816,6 +933,7 @@ let snapshot t =
     s_tick = t.tick_count;
     s_console = Buffer.contents t.console_buf;
     s_shadows = shadow_bindings t;
+    s_transition = transition_bindings t;
   }
 
 let diff_snapshot t s =
@@ -849,11 +967,11 @@ let diff_snapshot t s =
       (List.length now_threads) (List.length s.s_threads)
   else
     List.iter2
-      (fun (tid, name, pc, regs, state, uid, eq, lt)
-           (tid', _, pc', regs', state', uid', eq', lt') ->
+      (fun (tid, name, pc, regs, state, uid, eq, lt, patch)
+           (tid', _, pc', regs', state', uid', eq', lt', patch') ->
         if
           tid <> tid' || pc <> pc' || regs <> regs' || state <> state'
-          || uid <> uid' || eq <> eq' || lt <> lt'
+          || uid <> uid' || eq <> eq' || lt <> lt' || patch <> patch'
         then add "thread %d (%s) state differs from snapshot" tid name)
       now_threads s.s_threads;
   if t.tick_count <> s.s_tick then
@@ -861,4 +979,6 @@ let diff_snapshot t s =
   if not (String.equal (Buffer.contents t.console_buf) s.s_console) then
     add "console output differs";
   if shadow_bindings t <> s.s_shadows then add "shadow bindings differ";
+  if transition_bindings t <> s.s_transition then
+    add "active transition differs from snapshot";
   List.rev !out

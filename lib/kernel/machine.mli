@@ -34,7 +34,18 @@ type thread = {
   mutable uid : int;
   mutable flag_eq : bool;  (** comparison flags (per-CPU state) *)
   mutable flag_lt : bool;
+  mutable patch_state : bool;
+      (** livepatch-style per-task consistency state: [true] once the
+          thread has migrated to the goal side of the active transition.
+          Meaningful only while a transition is active. *)
 }
+
+(** Where a thread was standing when the machine offered it for
+    migration: at the [INT 0x80] syscall gate, or at the end of a
+    scheduler quantum in {!run}. *)
+type safe_point = Sp_syscall | Sp_quantum
+
+val safe_point_name : safe_point -> string
 
 type t
 
@@ -145,6 +156,48 @@ val backtrace : t -> thread -> string list
 val set_syscall_entry : t -> int -> unit
 
 val syscall_entry : t -> int option
+
+(** {2 Per-thread transitions}
+
+    The livepatch-style consistency model: instead of rewriting a
+    patched function's entry under [stop_machine], a transition installs
+    {e dispatch stubs} — interpreter-level redirects consulted before
+    each instruction fetch. While a transition is active, a thread whose
+    pc lands on a registered entry is routed to the target address iff
+    its [patch_state] equals the transition's route state; everyone else
+    falls through to the bytes actually at the entry. An apply
+    transition routes {e migrated} threads to new code (old code is
+    still at the entry); a reverse transition routes {e unmigrated}
+    threads to the still-live new code. At most one transition is active
+    at a time. *)
+
+(** [begin_transition t ~update ~route_migrated dispatch] activates a
+    transition for update [update] with [(entry, target)] dispatch
+    stubs, and resets every thread's [patch_state] to unmigrated.
+    [route_migrated] selects which side is redirected: [true] routes
+    migrated threads to the target (apply), [false] routes unmigrated
+    threads (reverse/undo).
+    @raise Invalid_argument if a transition is already active. *)
+val begin_transition :
+  t -> update:string -> route_migrated:bool -> (int * int) list -> unit
+
+(** Deactivate the transition and reset every [patch_state]; the caller
+    is expected to have landed (or unwound) the permanent trampolines.
+    @raise Invalid_argument if none is active. *)
+val end_transition : t -> unit
+
+(** Id of the active transition's update, if any. *)
+val transition_update : t -> string option
+
+(** The transition manager's migration callback, invoked with a thread
+    each time it crosses a safe point ({!safe_point}) while a transition
+    is active. The hook may read machine state and flip [patch_state];
+    it runs between instructions, never mid-instruction. Not part of any
+    snapshot — its owner manages its lifetime. *)
+val set_safepoint_hook : t -> (thread -> safe_point -> unit) option -> unit
+
+val migrate_thread : thread -> unit
+val thread_migrated : thread -> bool
 
 (** Raised by {!alloc_module} when the module area is exhausted, or when
     an armed allocation injector forces a failure. *)

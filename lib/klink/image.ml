@@ -20,13 +20,45 @@ type t = {
   placements : (string * string * int * int) list;
 }
 
+type error =
+  | Missing_section of {
+      ms_unit : string;
+      ms_symbol : string;
+      ms_section : string;
+    }
+  | Duplicate_global of {
+      dg_symbol : string;
+      dg_first_unit : string;
+      dg_second_unit : string;
+    }
+  | Undefined_symbol of {
+      us_unit : string;
+      us_symbol : string;
+      us_section : string;
+      us_offset : int;
+    }
+
+let pp_error ppf = function
+  | Missing_section { ms_unit; ms_symbol; ms_section } ->
+    Format.fprintf ppf "%s: symbol %s defined in missing section %s"
+      ms_unit ms_symbol ms_section
+  | Duplicate_global { dg_symbol; dg_first_unit; dg_second_unit } ->
+    Format.fprintf ppf "duplicate global symbol %s (defined in %s and %s)"
+      dg_symbol dg_first_unit dg_second_unit
+  | Undefined_symbol { us_unit; us_symbol; us_section; us_offset } ->
+    Format.fprintf ppf "%s: undefined symbol %s (section %s+%#x)" us_unit
+      us_symbol us_section us_offset
+
 exception Link_error of string
 
-let err fmt = Format.kasprintf (fun m -> raise (Link_error m)) fmt
+(* internal abort carrying the typed error; never escapes [link] *)
+exception Fail of error
+
+let err e = raise (Fail e)
 
 let round_up v a = (v + a - 1) / a * a
 
-let link ~base objects =
+let link_result ~base objects =
   (* 1. place sections, grouped text / rodata / data / bss *)
   let cursor = ref base in
   let placements = ref [] in (* (unit, section) -> addr, keep list order *)
@@ -73,8 +105,10 @@ let link ~base objects =
               match addr_of o.unit_name d.section with
               | Some a -> a
               | None ->
-                err "%s: symbol %s defined in missing section %s"
-                  o.unit_name sym.name d.section
+                err
+                  (Missing_section
+                     { ms_unit = o.unit_name; ms_symbol = sym.name;
+                       ms_section = d.section })
             in
             let addr = sec_addr + d.value in
             kallsyms :=
@@ -85,8 +119,10 @@ let link ~base objects =
             if sym.binding = Symbol.Global then begin
               (match Hashtbl.find_opt global_table sym.name with
                | Some (_, prev_unit) ->
-                 err "duplicate global symbol %s (defined in %s and %s)"
-                   sym.name prev_unit o.unit_name
+                 err
+                   (Duplicate_global
+                      { dg_symbol = sym.name; dg_first_unit = prev_unit;
+                        dg_second_unit = o.unit_name })
                | None -> ());
               Hashtbl.replace global_table sym.name (addr, o.unit_name)
             end)
@@ -131,8 +167,10 @@ let link ~base objects =
                     match resolve r.sym with
                     | Some a -> Int32.of_int a
                     | None ->
-                      err "%s: undefined symbol %s (section %s+%#x)"
-                        o.unit_name r.sym s.name r.offset
+                      err
+                        (Undefined_symbol
+                           { us_unit = o.unit_name; us_symbol = r.sym;
+                             us_section = s.name; us_offset = r.offset })
                   in
                   let place = Int32.of_int (sec_addr + r.offset) in
                   let v =
@@ -152,6 +190,16 @@ let link ~base objects =
     text_range = (text_start, text_end);
     placements;
   }
+
+let link ~base objects =
+  match link_result ~base objects with
+  | img -> Ok img
+  | exception Fail e -> Error e
+
+let link_exn ~base objects =
+  match link ~base objects with
+  | Ok img -> img
+  | Error e -> raise (Link_error (Format.asprintf "%a" pp_error e))
 
 let lookup img name =
   List.filter (fun s -> String.equal s.name name) img.kallsyms

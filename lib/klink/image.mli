@@ -26,14 +26,41 @@ type t = {
   placements : (string * string * int * int) list;
 }
 
+(** Why a link cannot complete. Errors are data: every field a caller
+    might want to report or branch on is carried in the variant, and
+    {!pp_error} renders the canonical message. *)
+type error =
+  | Missing_section of {
+      ms_unit : string;
+      ms_symbol : string;
+      ms_section : string;  (** symbol defined in a section not present *)
+    }
+  | Duplicate_global of {
+      dg_symbol : string;
+      dg_first_unit : string;
+      dg_second_unit : string;
+    }
+  | Undefined_symbol of {
+      us_unit : string;
+      us_symbol : string;
+      us_section : string;
+      us_offset : int;  (** relocation site within the section *)
+    }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Legacy interface: raised by {!link_exn} with the {!pp_error}
+    rendering of the underlying {!error}. *)
 exception Link_error of string
 
 (** [link ~base objects] lays out sections (text, rodata, data, bss — in
     that order), resolves and applies all relocations, and builds
-    kallsyms.
-    @raise Link_error on duplicate global definitions or unresolved
-    symbols. *)
-val link : base:int -> Objfile.t list -> t
+    kallsyms. Returns [Error _] on duplicate global definitions,
+    symbols defined in missing sections, or unresolved relocations. *)
+val link : base:int -> Objfile.t list -> (t, error) result
+
+(** {!link}, raising {!Link_error} instead of returning a result. *)
+val link_exn : base:int -> Objfile.t list -> t
 
 (** [lookup image name] returns all kallsyms entries with the given name
     (there may be several — local symbols are not unique). *)

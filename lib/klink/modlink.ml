@@ -13,9 +13,23 @@ type t = {
   own_symbols : (string * int) list;
 }
 
+type error =
+  | Unresolved_symbol of {
+      un_module : string;
+      un_symbol : string;
+      un_section : string;
+      un_offset : int;
+    }
+
+let pp_error ppf = function
+  | Unresolved_symbol { un_module; un_symbol; un_section; un_offset } ->
+    Format.fprintf ppf "module %s: unresolved symbol %s (section %s+%#x)"
+      un_module un_symbol un_section un_offset
+
 exception Load_error of string
 
-let err fmt = Format.kasprintf (fun m -> raise (Load_error m)) fmt
+(* internal abort carrying the typed error; never escapes [relocate] *)
+exception Fail of error
 
 let layout ~alloc (obj : Objfile.t) =
   let placed =
@@ -49,7 +63,7 @@ let section_addr t name =
 
 let symbol_addr t name = List.assoc_opt name t.own_symbols
 
-let relocate t ~resolve =
+let relocate_result t ~resolve =
   let resolve_sym name =
     match List.assoc_opt name t.own_symbols with
     | Some a -> Some a
@@ -67,8 +81,11 @@ let relocate t ~resolve =
               match resolve_sym r.sym with
               | Some a -> Int32.of_int a
               | None ->
-                err "module %s: unresolved symbol %s (section %s+%#x)"
-                  t.obj.unit_name r.sym s.name r.offset
+                raise
+                  (Fail
+                     (Unresolved_symbol
+                        { un_module = t.obj.unit_name; un_symbol = r.sym;
+                          un_section = s.name; un_offset = r.offset }))
             in
             let place = Int32.of_int (p.addr + r.offset) in
             let v =
@@ -80,3 +97,13 @@ let relocate t ~resolve =
         (p.addr, buf)
       end)
     t.placed
+
+let relocate t ~resolve =
+  match relocate_result t ~resolve with
+  | writes -> Ok writes
+  | exception Fail e -> Error e
+
+let relocate_exn t ~resolve =
+  match relocate t ~resolve with
+  | Ok writes -> writes
+  | Error e -> raise (Load_error (Format.asprintf "%a" pp_error e))

@@ -13,6 +13,20 @@ type t = {
   own_symbols : (string * int) list;
 }
 
+(** Why a module load cannot complete; {!pp_error} renders the canonical
+    message. *)
+type error =
+  | Unresolved_symbol of {
+      un_module : string;
+      un_symbol : string;
+      un_section : string;
+      un_offset : int;  (** relocation site within the section *)
+    }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Legacy interface: raised by {!relocate_exn} with the {!pp_error}
+    rendering of the underlying {!error}. *)
 exception Load_error of string
 
 (** [layout ~alloc obj] assigns an address to every allocatable section
@@ -31,5 +45,12 @@ val symbol_addr : t -> string -> int option
     initialised section, resolving relocations first against the module's
     own symbols and then through [resolve].
     Returns [(addr, bytes)] write commands (bss sections produce zero
-    fills). @raise Load_error naming the first unresolvable symbol. *)
-val relocate : t -> resolve:(string -> int option) -> (int * Bytes.t) list
+    fills); [Error _] names the first unresolvable symbol. *)
+val relocate :
+  t ->
+  resolve:(string -> int option) ->
+  ((int * Bytes.t) list, error) result
+
+(** {!relocate}, raising {!Load_error} instead of returning a result. *)
+val relocate_exn :
+  t -> resolve:(string -> int option) -> (int * Bytes.t) list

@@ -3,6 +3,7 @@ module Apply = Ksplice.Apply
 module Txn = Ksplice.Txn
 module Update = Ksplice.Update
 module J = Report.Json
+module Transition = Transition
 
 let src = Logs.Src.create "ksplice.manager" ~doc:"Supervised update manager"
 

@@ -36,6 +36,11 @@
     [Violation] event, so a sweep can assert the §5.2 contract end to
     end. *)
 
+(** The per-thread transition manager (livepatch-style consistency
+    model): an [Apply.engage_fn] that migrates threads at safe points
+    instead of demanding global quiescence under [stop_machine]. *)
+module Transition = Transition
+
 (** A post-apply health probe. [hc_probe] returns [Error evidence] on
     failure; it may freely run machine code (exploits, stress load) —
     the manager wraps the whole gate in a transaction and unwinds probe

@@ -48,7 +48,7 @@ int churn(int n) {
 let boot src =
   let tree = Tree.of_list [ ("k/t.c", src) ] in
   let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-  let img = Image.link ~base:0x100000 (Kbuild.objects build) in
+  let img = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
   (tree, img, Machine.create img)
 
 let call m img name args =

@@ -14,7 +14,7 @@ let t name f = Alcotest.test_case name `Quick f
 (* build a machine whose kernel is a raw assembly unit *)
 let boot_asm src =
   let obj = Asm.Assembler.assemble ~unit_name:"k.s" ~function_sections:false src in
-  let img = Image.link ~base:0x100000 [ obj ] in
+  let img = Image.link_exn ~base:0x100000 [ obj ] in
   (img, Machine.create img)
 
 let addr img name = (Option.get (Image.lookup_global img name)).Image.addr
@@ -377,6 +377,86 @@ outer:
   Alcotest.(check bool) "middle on stack" true (mentions "middle");
   Alcotest.(check bool) "outer on stack" true (mentions "outer")
 
+let test_backtrace_sleeping () =
+  (* §5.2 diagnostics and the transition manager both walk stacks of
+     threads that are NOT running: a sleeper's chain must still resolve *)
+  let img, m =
+    boot_asm
+      {|
+.text
+.global naplet
+naplet:
+  mov r1, 1000
+  int 6
+  ret
+.global middle
+middle:
+  call naplet
+  ret
+.global outer
+outer:
+  call middle
+  ret
+.global spinner
+spinner:
+  jmp spinner
+|}
+  in
+  let th =
+    Machine.spawn m ~name:"sleeper" ~uid:0 ~entry:(addr img "outer") ~args:[]
+  in
+  (* a busy thread keeps the clock honest: with only a sleeper the
+     scheduler would time-teleport straight past the nap *)
+  ignore
+    (Machine.spawn m ~name:"spinner" ~uid:0 ~entry:(addr img "spinner")
+       ~args:[]
+      : Machine.thread);
+  ignore (Machine.run m ~steps:64 : int);
+  (match th.Machine.state with
+   | Machine.Sleeping wake ->
+     Alcotest.(check bool) "wake in the future" true (wake > Machine.tick m)
+   | _ -> Alcotest.fail "thread should be sleeping");
+  let frames = Machine.backtrace m th in
+  let mentions name =
+    List.exists
+      (fun f ->
+        String.length f >= String.length name
+        && String.sub f 0 (String.length name) = name)
+      frames
+  in
+  Alcotest.(check bool) "pc frame resolves into naplet" true
+    (mentions "naplet");
+  Alcotest.(check bool) "middle on sleeping stack" true (mentions "middle");
+  Alcotest.(check bool) "outer on sleeping stack" true (mentions "outer")
+
+let test_backtrace_not_started_and_exited () =
+  let img, m =
+    boot_asm
+      {|
+.text
+.global solo
+solo:
+  ret
+|}
+  in
+  (* never stepped: the only honest frame is the entry pc itself *)
+  let fresh =
+    Machine.spawn m ~name:"fresh" ~uid:0 ~entry:(addr img "solo") ~args:[]
+  in
+  let frames = Machine.backtrace m fresh in
+  Alcotest.(check bool) "at least the pc frame" true (frames <> []);
+  Alcotest.(check bool) "pc frame is solo" true
+    (match frames with
+     | f :: _ ->
+       String.length f >= 4 && String.sub f 0 4 = "solo"
+     | [] -> false);
+  (* exited: backtrace must not raise, whatever it reports *)
+  ignore (Machine.run m ~steps:64 : int);
+  (match fresh.Machine.state with
+   | Machine.Exited _ -> ()
+   | _ -> Alcotest.fail "thread should have exited");
+  ignore (Machine.backtrace m fresh : string list)
+
 let suite =
   [
     ( "machine",
@@ -398,5 +478,8 @@ let suite =
         t "call_function inside stop_machine"
           test_reentrant_call_function_rejected;
         t "backtrace" test_backtrace;
+        t "backtrace of a sleeping thread" test_backtrace_sleeping;
+        t "backtrace of not-started and exited threads"
+          test_backtrace_not_started_and_exited;
       ] );
   ]

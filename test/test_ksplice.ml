@@ -73,7 +73,7 @@ let base_tree =
 
 let boot ?(tree = base_tree) () =
   let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-  let img = Image.link ~base:0x100000 (Kbuild.objects build) in
+  let img = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
   (img, Machine.create img)
 
 let call m img fn args =

@@ -15,7 +15,7 @@ let compile ?(opts = Driver.run_build) ?(unit_name = "t.c") src =
   (Driver.compile ~options:opts ~unit_name src).obj
 
 let boot objs =
-  let img = Image.link ~base:0x100000 objs in
+  let img = Image.link_exn ~base:0x100000 objs in
   (img, Machine.create img)
 
 let call m img fn args =

@@ -121,7 +121,7 @@ let tiny_machine () =
       [ ("kernel/t.c", "int tv = 1;\nint tf(int p) { return p + tv; }\n") ]
   in
   let b = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-  Machine.create (Image.link ~base:0x100000 (Kbuild.objects b))
+  Machine.create (Image.link_exn ~base:0x100000 (Kbuild.objects b))
 
 let mk_sym name addr : Image.syminfo =
   {

@@ -130,7 +130,7 @@ let prog_to_c (p : rprog) =
 
 let boot_tree tree =
   let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build tree in
-  let img = Image.link ~base:0x100000 (Kbuild.objects build) in
+  let img = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
   (img, Machine.create img)
 
 let observe (img, m) fname arg =

@@ -120,7 +120,7 @@ let test_duplicate_publish_rejected () =
 
 let boot_base () =
   let build = Kbuild.build_tree_exn ~options:Minic.Driver.run_build base_tree in
-  let img = Image.link ~base:0x100000 (Kbuild.objects build) in
+  let img = Image.link_exn ~base:0x100000 (Kbuild.objects build) in
   let m = Machine.create img in
   let mgr = Apply.init m in
   let call () =
