@@ -883,6 +883,156 @@ let transition_sweep ?cves () =
   if dip >= base_dip then
     print_endline "*** PER-THREAD DIP NOT BELOW STOP_MACHINE BASELINE ***"
 
+(* ---------- FL: simulated fleet distribution ---------- *)
+
+type fleet_outcome = {
+  fb_subscribers : int;
+  fb_depth : int;  (** server chain entries *)
+  fb_synced : int;
+  fb_wall_s : float;
+  fb_subs_per_s : float;
+  fb_p50_s : float;
+  fb_p99_s : float;
+  fb_chain_bytes : int;  (** blob bytes of one full cold mirror *)
+  fb_bytes_fetched : int;
+  fb_bytes_saved : int;  (** bytes not transferred vs all-cold mirrors *)
+}
+
+let fleet_result : fleet_outcome option ref = ref None
+
+let fleet_bench ?(subscribers = 512) () =
+  section
+    (Printf.sprintf "Fleet distribution: %d subscribers mirroring one server"
+       subscribers);
+  let module Transport = Fleet.Transport in
+  let module Server = Fleet.Server in
+  let module Subscriber = Fleet.Subscriber in
+  (* a server chain stacked like the fleet sweep's: successive corpus
+     CVEs applied to the successively patched tree *)
+  let repo = Repo.of_store (Store.create ~name:"fleet-bench-server" ()) in
+  let tree = ref base and depth = ref 0 in
+  List.iter
+    (fun (cve : Corpus.Cve.t) ->
+      if !depth < 4 && Corpus.Cve.applies_to cve !tree then begin
+        let patch = Corpus.Cve.hot_patch cve !tree in
+        match
+          Create.create
+            { source = !tree; patch; update_id = cve.id;
+              description = cve.desc }
+        with
+        | Error e ->
+          Format.kasprintf failwith "fleet bench create: %a" Create.pp_error e
+        | Ok c -> (
+          (match Repo.publish repo ~source:!tree ~patch ~update:c.update with
+          | Ok _ -> ()
+          | Error e ->
+            Format.kasprintf failwith "fleet bench publish: %a" Repo.pp_error
+              e);
+          match Diff.apply patch !tree with
+          | Ok t ->
+            tree := t;
+            incr depth
+          | Error m -> failwith ("fleet bench apply: " ^ m))
+      end)
+    Corpus.Cve.all;
+  let base_digest = Tree.digest base in
+  let manifest =
+    match Repo.manifest repo ~digest:base_digest with
+    | Ok m -> m
+    | Error e -> Format.kasprintf failwith "fleet manifest: %a" Repo.pp_error e
+  in
+  let chain_bytes =
+    List.fold_left
+      (fun acc (e : Repo.manifest_entry) ->
+        acc + e.me_size
+        + List.fold_left (fun a (_, s) -> a + s) 0 e.me_objects)
+      0 manifest
+  in
+  let server_store = Repo.store repo in
+  (* pre-seed a subscriber to chain position [k]: exactly the refs and
+     blobs a prior sync committed, so the timed sync fetches the delta *)
+  let preseed sub k =
+    List.iteri
+      (fun i (e : Repo.manifest_entry) ->
+        if i < k then begin
+          List.iter
+            (fun d ->
+              match Store.get server_store d with
+              | Some b -> ignore (Store.put sub b)
+              | None -> failwith "fleet bench: server blob missing")
+            (e.me_blob :: List.map fst e.me_objects);
+          let hd = Store.put sub e.me_next in
+          Store.commit_refs sub
+            [ (Repo.entry_ref e.me_base, e.me_blob); ("fleet:head", hd) ]
+        end)
+      manifest
+  in
+  let t0 = now () in
+  let reports =
+    Parallel.map ~domains:(par_domains ())
+      (fun i ->
+        let sub = Store.create ~name:(Printf.sprintf "sub-%d" i) () in
+        preseed sub (i mod (!depth + 1));
+        let connect _ =
+          let tr, _ =
+            Transport.sim ~serve:(Server.handle (Server.session repo)) ()
+          in
+          Some tr
+        in
+        let s0 = now () in
+        let r =
+          Subscriber.sync ~id:(Printf.sprintf "sub-%d" i) ~store:sub
+            ~base:base_digest ~connect ()
+        in
+        (now () -. s0, r))
+      (List.init subscribers (fun i -> i))
+  in
+  let wall = now () -. t0 in
+  let lats = List.sort compare (List.map fst reports) in
+  let pct p =
+    let n = List.length lats in
+    if n = 0 then 0.0
+    else
+      List.nth lats
+        (max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let sum f =
+    List.fold_left (fun acc (_, r) -> acc + f r) 0 reports
+  in
+  let synced = sum (fun (r : Subscriber.report) -> if r.r_synced then 1 else 0) in
+  let outcome =
+    {
+      fb_subscribers = subscribers;
+      fb_depth = !depth;
+      fb_synced = synced;
+      fb_wall_s = wall;
+      fb_subs_per_s = float_of_int subscribers /. wall;
+      fb_p50_s = pct 0.50;
+      fb_p99_s = pct 0.99;
+      fb_chain_bytes = chain_bytes;
+      fb_bytes_fetched = sum (fun (r : Subscriber.report) -> r.r_bytes_fetched);
+      (* a cold mirror transfers [chain_bytes]; whatever the fleet did
+         not fetch was saved by delta sync (head exchange skipping
+         committed entries) plus CAS hits on shared object blobs *)
+      fb_bytes_saved =
+        max 0
+          ((chain_bytes * subscribers)
+          - sum (fun (r : Subscriber.report) -> r.r_bytes_fetched));
+    }
+  in
+  fleet_result := Some outcome;
+  Printf.printf "chain: %d entries, %d blob bytes per cold mirror\n" !depth
+    chain_bytes;
+  Printf.printf "synced %d/%d subscribers in %.3f s  (%.1f subscribers/s)\n"
+    synced subscribers wall outcome.fb_subs_per_s;
+  Printf.printf "sync latency: p50 %.6f s   p99 %.6f s\n" outcome.fb_p50_s
+    outcome.fb_p99_s;
+  Printf.printf
+    "delta sync: %d bytes fetched, %d bytes saved vs cold mirrors\n"
+    outcome.fb_bytes_fetched outcome.fb_bytes_saved;
+  if synced <> subscribers then
+    print_endline "*** FLEET BENCH: not every subscriber synced ***"
+
 (* ---------- P: Bechamel timing ---------- *)
 
 let bechamel_benches ?(quick = false) () =
@@ -1164,6 +1314,24 @@ let emit_bench_json ~mode () =
                 ("recovery_s", Num recovery_t);
                 ("ok", Bool (Corpus.Sweep.crash_ok r));
               ] );
+        ( "fleet",
+          match !fleet_result with
+          | None -> Null
+          | Some f ->
+            Obj
+              [
+                ("subscribers", num f.fb_subscribers);
+                ("chain_depth", num f.fb_depth);
+                ("synced", num f.fb_synced);
+                ("wall_s", Num f.fb_wall_s);
+                ("subscribers_per_s", Num f.fb_subs_per_s);
+                ("p50_sync_s", Num f.fb_p50_s);
+                ("p99_sync_s", Num f.fb_p99_s);
+                ("chain_bytes", num f.fb_chain_bytes);
+                ("bytes_fetched", num f.fb_bytes_fetched);
+                ("bytes_saved", num f.fb_bytes_saved);
+                ("ok", Bool (f.fb_synced = f.fb_subscribers));
+              ] );
       ]
   in
   let oc = open_out !out_path in
@@ -1202,6 +1370,7 @@ let () =
         crash_sweep ~cves:(List.filteri (fun i _ -> i < 2) quick_cves) ());
     timed "transition_sweep" (fun () ->
         transition_sweep ~cves:(List.filteri (fun i _ -> i < 2) quick_cves) ());
+    timed "fleet_bench" (fun () -> fleet_bench ());
     timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
   end
   else begin
@@ -1223,6 +1392,7 @@ let () =
     timed "trace_overhead" (fun () -> trace_overhead ());
     timed "crash_sweep" (fun () -> crash_sweep ());
     timed "transition_sweep" (fun () -> transition_sweep ());
+    timed "fleet_bench" (fun () -> fleet_bench ~subscribers:1024 ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())
   end;

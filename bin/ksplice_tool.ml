@@ -234,12 +234,36 @@ let load_json_or_die ~producer path =
     Printf.eprintf "error: %s (regenerate with %s)\n" m producer;
     exit 1
 
-let cmd_bench_summary path =
+(* bench-summary failures as data: a missing file or a missing section
+   is an ordinary, printable error — never a backtrace *)
+type summary_error =
+  | Summary_unreadable of { path : string; msg : string }
+  | Summary_missing_section of { path : string; section : string }
+
+let pp_summary_error ppf = function
+  | Summary_unreadable { path; msg } ->
+    Format.fprintf ppf
+      "%s: %s (regenerate with `dune build @bench` or bench/main.exe)" path
+      msg
+  | Summary_missing_section { path; section } ->
+    Format.fprintf ppf
+      "%s has no %S section (regenerate with `dune build @bench`, or check \
+       the section name against the ksplice-bench/1 schema)"
+      path section
+
+let cmd_bench_summary path only =
   let module J = Report.Json in
-  match
-    load_json_or_die ~producer:"`dune build @bench` or bench/main.exe" path
-  with
-  | doc ->
+  match Report.Json.of_file path with
+  | Error msg -> Error (Summary_unreadable { path; msg })
+  | Ok doc when only <> None -> (
+    let section = Option.get only in
+    match J.member section doc with
+    | None | Some J.Null ->
+      Error (Summary_missing_section { path; section })
+    | Some j ->
+      print_endline (J.to_string j);
+      Ok ())
+  | Ok doc ->
     let field obj k conv = Option.bind (J.member k obj) conv in
     let str obj k = Option.value ~default:"?" (field obj k J.to_str) in
     let istr obj k =
@@ -432,7 +456,33 @@ let cmd_bench_summary path =
            ("(undo)", "undo_pauses_ns");
            ("(stop_machine)", "baseline_pauses_ns");
            ("(straggler)", "straggler_pauses_ns");
-         ])
+         ]);
+    (match J.member "fleet" doc with
+     | None | Some J.Null -> ()
+     | Some fl ->
+       let fstr fmt k =
+         match field fl k J.to_float with
+         | Some f -> Printf.sprintf fmt f
+         | None -> "?"
+       in
+       Printf.printf
+         "fleet sync:           %s subscribers over a depth-%s chain — %s \
+          synced at %s subscribers/s (wall %s s)\n"
+         (istr fl "subscribers") (istr fl "chain_depth") (istr fl "synced")
+         (fstr "%.1f" "subscribers_per_s")
+         (fstr "%.3f" "wall_s");
+       Printf.printf
+         "  sync latency:       p50 %s s   p99 %s s\n"
+         (fstr "%.6f" "p50_sync_s") (fstr "%.6f" "p99_sync_s");
+       Printf.printf
+         "  delta sync:         %s bytes fetched, %s saved against a \
+          %s-byte cold mirror, ok=%s\n"
+         (istr fl "bytes_fetched") (istr fl "bytes_saved")
+         (istr fl "chain_bytes")
+         (match J.member "ok" fl with
+          | Some (J.Bool b) -> string_of_bool b
+          | _ -> "?"));
+    Ok ()
 
 let cmd_fault_sweep cve_ids seed jobs =
   (* every cell intentionally aborts an apply; the per-abort warnings are
@@ -938,6 +988,80 @@ let cmd_gc dir =
           reclaimed\n"
          dir g.gc_live g.gc_pinned g.gc_swept g.gc_bytes)
 
+(* --- fleet: serve / sync / fleet-sweep --- *)
+
+let cmd_serve dir socket max_sessions =
+  match Repo.open_dir dir with
+  | Error e ->
+    Format.eprintf "error: cannot open %s: %a@." dir Repo.pp_error e;
+    exit 2
+  | Ok repo -> (
+    Printf.printf "serving %s on %s%s\n%!" dir socket
+      (match max_sessions with
+      | None -> ""
+      | Some n -> Printf.sprintf " (up to %d session(s))" n);
+    match Fleet.Server.listen ~socket_path:socket ?max_sessions repo with
+    | Ok n -> Printf.printf "served %d session(s)\n" n
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1)
+
+let cmd_sync socket dir base =
+  let store = Store.create ~name:"mirror" ~dir () in
+  let connect _attempt =
+    match Fleet.Transport.connect_unix socket with
+    | tr -> Some tr
+    | exception Unix.Unix_error _ -> None
+  in
+  let r =
+    Fleet.Subscriber.sync
+      ~sleep:(fun ticks -> Unix.sleepf (float_of_int ticks /. 1000.0))
+      ~id:(Filename.basename dir) ~store ~base ~connect ()
+  in
+  List.iter (fun line -> Printf.printf "  %s\n" line) r.Fleet.Subscriber.r_log;
+  Printf.printf
+    "%s: %d entr%s committed, %d blob(s) / %d byte(s) fetched, %d byte(s) \
+     already local\n"
+    dir r.r_committed
+    (if r.r_committed = 1 then "y" else "ies")
+    r.r_blobs_fetched r.r_bytes_fetched r.r_bytes_saved;
+  if r.r_synced then
+    Printf.printf "synced to chain head %s in %d attempt(s)\n" r.r_head
+      r.r_attempts
+  else begin
+    Printf.printf
+      "server unreachable after %d attempt(s); still serving head %s\n"
+      r.r_attempts r.r_head;
+    exit 1
+  end
+
+let cmd_fleet_sweep cve_ids seed jobs =
+  let cves =
+    match cve_ids with
+    | [] -> Corpus.Sweep.fleet_sample ()
+    | ids ->
+      List.map
+        (fun id ->
+          match Corpus.Cve.find id with
+          | Some c -> c
+          | None ->
+            Printf.eprintf "error: unknown CVE %s (try list-cves)\n" id;
+            exit 1)
+        ids
+  in
+  Printf.printf
+    "injecting every transport fault at every wire frame of a chain sync \
+     for %d CVE(s), seed %d...\n%!"
+    (List.length cves) seed;
+  let report =
+    Corpus.Sweep.run_fleet ~seed ~cves ?domains:jobs
+      ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+      ()
+  in
+  print_newline ();
+  Format.printf "%a@." Corpus.Sweep.pp_fleet report;
+  if not (Corpus.Sweep.fleet_ok report) then exit 1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -1283,6 +1407,102 @@ let gc_cmd =
           unreachable from its refs and chain entries")
     Term.(const cmd_gc $ repo_dir_t)
 
+let serve_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Repository directory to serve.")
+  in
+  let socket =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let sessions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Serve $(docv) subscriber session(s), then exit (default: \
+                run forever).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a repository's update chains to subscribers over a \
+          Unix-domain socket (the uptrack-style distribution daemon)")
+    Term.(
+      const (fun v d s n -> setup_logs v; cmd_serve d s n)
+      $ verbose_t $ dir $ socket $ sessions)
+
+let sync_cmd =
+  let socket =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Server's Unix-domain socket path.")
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Local mirror directory (created if absent).")
+  in
+  let base =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "base" ] ~docv:"DIGEST"
+          ~doc:"Source-tree digest this subscriber's kernel runs.")
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:
+         "Mirror a served update chain into a local store: delta sync \
+          (only missing blobs cross the wire), resumable after any \
+          interruption, degrading to the old chain head when the server \
+          is unreachable")
+    Term.(
+      const (fun v s d b -> setup_logs v; cmd_sync s d b)
+      $ verbose_t $ socket $ dir $ base)
+
+let fleet_sweep_cmd =
+  let cves =
+    Arg.(
+      value & opt_all string []
+      & info [ "cve" ] ~docv:"ID"
+          ~doc:
+            "Sweep only this CVE (repeatable; default: every 8th corpus \
+             CVE).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan and jitter seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Sweep up to $(docv) CVEs concurrently (default: one per core; \
+             1 forces a serial sweep).")
+  in
+  Cmd.v
+    (Cmd.info "fleet-sweep"
+       ~doc:
+         "Sync a published chain through the simulated wire transport with \
+          every fault kind (disconnect, torn frame, corruption, stall, \
+          duplication) injected at every frame, and verify the subscriber \
+          converges byte-identically with a fsck-clean mirror and zero \
+          redundant transfers")
+    Term.(
+      const (fun v c s j -> setup_logs v; cmd_fleet_sweep c s j)
+      $ verbose_t $ cves $ seed $ jobs)
+
 let bench_summary_cmd =
   let path =
     Arg.(
@@ -1290,10 +1510,26 @@ let bench_summary_cmd =
       & info [] ~docv:"FILE"
           ~doc:"Perf baseline written by bench/main.exe (--out).")
   in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "section" ] ~docv:"NAME"
+          ~doc:
+            "Print just this top-level section as JSON; a missing section \
+             is a clean error, not a crash.")
+  in
   Cmd.v
     (Cmd.info "bench-summary"
        ~doc:"Pretty-print a BENCH.json perf baseline")
-    Term.(const cmd_bench_summary $ path)
+    Term.(
+      const (fun p o ->
+          match cmd_bench_summary p o with
+          | Ok () -> ()
+          | Error e ->
+            Format.eprintf "error: %a@." pp_summary_error e;
+            Stdlib.exit 1)
+      $ path $ only)
 
 let () =
   let doc = "Ksplice reproduction: rebootless kernel updates" in
@@ -1303,6 +1539,6 @@ let () =
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
             demo_cmd; fault_sweep_cmd; crash_sweep_cmd; transition_sweep_cmd;
-            fsck_cmd; gc_cmd;
+            fleet_sweep_cmd; serve_cmd; sync_cmd; fsck_cmd; gc_cmd;
             manager_run_cmd; manager_report_cmd; trace_cmd; metrics_cmd;
             store_stats_cmd; bench_summary_cmd ]))

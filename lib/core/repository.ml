@@ -8,6 +8,11 @@ type t = {
 
 let store t = t.store
 
+(* a repository view over an existing store handle (e.g. a fleet
+   subscriber's mirror, which may be memory-only): the dir is only used
+   to label errors *)
+let of_store store = { dir = "<store:" ^ Store.name store ^ ">"; store }
+
 type entry = {
   base_digest : string;
   next_digest : string;
@@ -51,11 +56,13 @@ let pp_error ppf = function
   | Gc_unsafe m ->
     Format.fprintf ppf "garbage collection refused: %s" m
 
-let open_dir ?vfs ?(recover = true) dir =
+let open_dir ?vfs ?(recover = true) ?share dir =
   if Sys.file_exists dir && not (Sys.is_directory dir) then
     Error (Not_a_directory dir)
   else
-    match Store.create ~name:"repo" ~capacity:256 ~dir ?vfs ~recover () with
+    match
+      Store.create ~name:"repo" ~capacity:256 ~dir ?vfs ~recover ?share ()
+    with
     | s -> Ok { dir; store = s }
     | exception Invalid_argument _ -> Error (Not_a_directory dir)
     | exception Vfs.Io_error { op; path; reason } ->
@@ -269,3 +276,62 @@ let gc t =
   match Store.gc ~expand:expand_blob t.store with
   | Ok r -> Ok r
   | Error m -> Error (Gc_unsafe m)
+
+(* --- distribution support: digest-level chain manifests --- *)
+
+let closure raw = expand_blob "" raw
+
+type manifest_entry = {
+  me_base : string;
+  me_next : string;
+  me_blob : Store.digest;
+  me_size : int;
+  me_objects : (Store.digest * int) list;
+}
+
+let manifest t ~digest =
+  let load_sized ~owner d =
+    match Store.load t.store d with
+    | Ok raw -> Ok raw
+    | Error `Missing ->
+      Error
+        (Corrupt_entry
+           { digest = owner; reason = "blob " ^ d ^ " is missing" })
+    | Error (`Corrupt reason) ->
+      Error (Corrupt_entry { digest = owner; reason })
+  in
+  let rec walk digest acc seen =
+    if List.mem digest seen then Error (Chain_cycle digest)
+    else
+      match Store.find_ref t.store (entry_ref digest) with
+      | None -> Ok (List.rev acc)
+      | Some blob_digest -> (
+        match load_sized ~owner:digest blob_digest with
+        | Error e -> Error e
+        | Ok raw -> (
+          match parse_entry_fields raw with
+          | Error reason -> Error (Corrupt_entry { digest; reason })
+          | Ok (me_base, me_next, _patch, _ub) ->
+            let rec sized acc = function
+              | [] -> Ok (List.rev acc)
+              | d :: rest -> (
+                match load_sized ~owner:digest d with
+                | Error e -> Error e
+                | Ok o -> sized ((d, String.length o) :: acc) rest)
+            in
+            (match sized [] (expand_blob blob_digest raw) with
+            | Error e -> Error e
+            | Ok me_objects ->
+              let e =
+                { me_base; me_next; me_blob = blob_digest;
+                  me_size = String.length raw; me_objects }
+              in
+              walk me_next (e :: acc) (digest :: seen))))
+  in
+  walk digest [] []
+
+let head t ~digest =
+  match manifest t ~digest with
+  | Error e -> Error e
+  | Ok [] -> Ok digest
+  | Ok entries -> Ok (List.nth entries (List.length entries - 1)).me_next

@@ -22,6 +22,16 @@ type t
 (** The artifact store holding this repository's entries and objects. *)
 val store : t -> Store.t
 
+(** A repository view over an existing store handle — e.g. a fleet
+    subscriber's local mirror, which may be memory-only. Everything
+    except {!open_dir} works on it. *)
+val of_store : Store.t -> t
+
+(** The mutable-ref name under which the entry for a source digest is
+    published (["entry:<digest>"]) — the names a subscriber's mirror
+    must reproduce. *)
+val entry_ref : string -> string
+
 (** An update published against a particular source state. *)
 type entry = {
   base_digest : string;  (** digest of the source this applies to *)
@@ -55,8 +65,11 @@ val pp_error : Format.formatter -> error -> unit
     All disk I/O goes through [vfs] (default {!Vfs.real}; inject a fault
     plan to simulate crashes). Unless [recover] is [false] (read-only
     inspection), opening replays the store's write-ahead journal and
-    sweeps orphan temp files — see {!recovery}. *)
-val open_dir : ?vfs:Vfs.t -> ?recover:bool -> string -> (t, error) result
+    sweeps orphan temp files — see {!recovery}. Plain handles on the
+    same directory share one in-process store (see {!Store.create});
+    pass [share:false] for a private handle that reads the disk cold. *)
+val open_dir :
+  ?vfs:Vfs.t -> ?recover:bool -> ?share:bool -> string -> (t, error) result
 
 (** What recovery-on-open did, if anything. *)
 val recovery : t -> Store.recovery_report option
@@ -102,6 +115,39 @@ type fsck_report = {
     journal) plus a full decode of every published entry — the same
     checks [ksplice-tool fsck] runs. Never modifies the repository. *)
 val fsck : t -> (fsck_report, fsck_report) result
+
+(** {2 Distribution support}
+
+    Digest-level views of a chain, for the fleet wire protocol: a server
+    describes what a subscriber is missing without decoding updates, and
+    a subscriber decides what to fetch by set difference against its own
+    store — the CAS dedup that makes delta sync cheap. *)
+
+(** One chain hop as digests: the entry blob plus the object blobs its
+    serialised update interns (shared across entries of a chain). *)
+type manifest_entry = {
+  me_base : string;  (** source digest this entry applies to *)
+  me_next : string;  (** source digest after applying it *)
+  me_blob : Store.digest;  (** the KSPLREPO2 entry blob *)
+  me_size : int;  (** entry blob size in bytes *)
+  me_objects : (Store.digest * int) list;  (** interned objects, sized *)
+}
+
+(** [manifest repo ~digest] is the pending chain from [digest] as
+    digests, oldest first. Every blob on the chain (entries and interned
+    objects) is digest-verified as it is read, so a server never
+    advertises bytes it cannot serve intact. *)
+val manifest : t -> digest:string -> (manifest_entry list, error) result
+
+(** [head repo ~digest] is the source digest at the end of the chain
+    starting at [digest] ([digest] itself when the chain is empty). *)
+val head : t -> digest:string -> (string, error) result
+
+(** [closure raw] is the digests a blob references: a KSPLREPO2 entry or
+    bare KSPL2 update reaches its interned objects; anything else is a
+    leaf. Pure — a subscriber re-derives an entry's object set from the
+    received bytes instead of trusting the server's manifest. *)
+val closure : string -> Store.digest list
 
 (** Mark-and-sweep garbage collection. Roots are every ref (chain
     entries and any named refs); reachability closes over each entry's

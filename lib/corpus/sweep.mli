@@ -241,3 +241,53 @@ val transition_sample : unit -> Cve.t list
 val transition_ok : treport -> bool
 
 val pp_transition : Format.formatter -> treport -> unit
+
+(** {1 The fleet sweep: distribution under transport faults}
+
+    The wire analogue of {!run_crash}: for each sampled CVE a server
+    repository publishes a short stacked chain (the CVE plus the next
+    corpus CVEs still applicable to the patched tree, at most three
+    hops). A fault-free probe sync counts the frames a full mirror
+    costs; then {e every} {!Fleet.Transport.fault_kind} is injected at
+    {e every} frame index, and a fresh subscriber must still converge —
+    retried sync byte-identical to the server's chain refs, mirror
+    fsck-clean, zero redundant blob transfers — deterministically in
+    [seed]. One extra cell per row proves graceful degradation: with the
+    server unreachable the subscriber keeps its old head over a
+    fsck-clean store. *)
+
+type frow = {
+  fl_cve : string;
+  fl_depth : int;  (** entries published on the server chain *)
+  fl_frames : int;  (** frames crossing the wire in a fault-free sync *)
+  fl_cells : int;  (** (fault kind × frame) cells plus the degraded cell *)
+  fl_retried : int;  (** cells that needed more than one attempt *)
+  fl_bytes_saved : int;  (** bytes resume skipped re-downloading *)
+  fl_notes : string list;  (** violations; [[]] = row passed *)
+}
+
+type fleet_report = {
+  fl_rows : frow list;
+  fl_total_cells : int;
+  fl_total_retried : int;
+  fl_total_saved : int;
+  fl_violations : int;
+}
+
+(** [run_fleet ?seed ?cves ?progress ?domains ()] — same fan-out and
+    determinism discipline as {!run_crash}. *)
+val run_fleet :
+  ?seed:int ->
+  ?cves:Cve.t list ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  unit ->
+  fleet_report
+
+(** The default sample {!run_fleet} sweeps: every 8th corpus CVE. *)
+val fleet_sample : unit -> Cve.t list
+
+(** No violations in any cell. *)
+val fleet_ok : fleet_report -> bool
+
+val pp_fleet : Format.formatter -> fleet_report -> unit

@@ -9,8 +9,8 @@ let compile ~name ~src =
   match
     Minic.Driver.compile ~options:Minic.Driver.run_build ~unit_name:name src
   with
-  | { obj; _ } -> obj
-  | exception Minic.Driver.Error m -> err "%s" m
+  | Ok { obj; _ } -> obj
+  | Error e -> err "%a" Minic.Driver.pp_error e
 
 let load machine ~name ~src =
   let obj = compile ~name ~src in

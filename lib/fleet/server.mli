@@ -1,0 +1,48 @@
+(** The distribution server: one {!session} per subscriber connection,
+    driven as a pure-ish state machine (bytes in, frames out) so the
+    same code serves a real Unix-domain socket and the deterministic
+    simulated transport the chaos sweep injects faults into.
+
+    A session walks [hello → head → manifest → want → blob stream →
+    done]. The manifest is digest-verified as it is read
+    ({!Ksplice.Repository.manifest}), and a [Want] may only name digests
+    that manifest advertised — a subscriber cannot use the daemon as an
+    arbitrary blob oracle. Any malformed or out-of-state frame yields
+    one [Err] frame and kills the session; the subscriber's retry loop
+    takes it from there. *)
+
+type stats = {
+  mutable frames_in : int;
+  mutable blobs_sent : int;
+  mutable bytes_sent : int;  (** blob payload bytes only *)
+  mutable errors : int;  (** [Err] frames emitted *)
+}
+
+type session
+
+(** [session ?id repo] starts a session serving [repo]'s chains. [id]
+    names the server in [Hello_ack] (default ["fleet-server"]). *)
+val session : ?id:string -> Ksplice.Repository.t -> session
+
+(** [handle s bytes] feeds received bytes (any chunking — partial frames
+    are buffered) and returns the encoded response frames to send.
+    After an error the session is dead: further input yields nothing. *)
+val handle : session -> string -> string list
+
+val stats : session -> stats
+
+(** Did the session reach [Done]? *)
+val finished : session -> bool
+
+(** [serve_connection repo tr] runs one full session over a transport,
+    returning its stats when the peer disconnects or the session ends. *)
+val serve_connection : ?id:string -> Ksplice.Repository.t -> Transport.t -> stats
+
+(** [listen ~socket_path ?max_sessions repo] binds a Unix-domain socket
+    (replacing any stale file) and serves connections sequentially —
+    [max_sessions] bounds the accept loop (default: run forever).
+    Returns the number of sessions served, or an error message if the
+    socket could not be bound. *)
+val listen :
+  socket_path:string -> ?max_sessions:int -> ?recv_timeout:float ->
+  Ksplice.Repository.t -> (int, string) result

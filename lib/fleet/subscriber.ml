@@ -1,0 +1,269 @@
+module Repo = Ksplice.Repository
+
+type policy = {
+  retries : int;
+  backoff_base : int;
+  backoff_cap : int;
+  jitter : int;
+  seed : int;
+}
+
+let default_policy =
+  { retries = 5; backoff_base = 100; backoff_cap = 1600; jitter = 64; seed = 0 }
+
+(* the Manager's jitter hash, so fleet retries replay bit-identically
+   for a given (seed, id, attempt) just like manager retries do *)
+let jitter ~seed ~id ~attempt ~bound =
+  if bound <= 0 then 0
+  else begin
+    let h = ref (seed lxor 0x9e3779b9) in
+    let feed v =
+      h := !h lxor v;
+      h := !h * 0x85ebca6b land 0x3fffffff;
+      h := (!h lxor (!h lsr 13)) land 0x3fffffff
+    in
+    String.iter (fun c -> feed (Char.code c)) id;
+    feed (attempt * 0x27d4eb2f);
+    !h mod bound
+  end
+
+let retry_delay pol ~id ~attempt =
+  let expo = pol.backoff_base * (1 lsl min (attempt - 1) 20) in
+  min pol.backoff_cap expo
+  + jitter ~seed:pol.seed ~id ~attempt ~bound:pol.jitter
+
+type error =
+  | Transport of Transport.recv_error
+  | Protocol of string
+  | Server of { code : string; msg : string }
+  | Digest_mismatch of { digest : string }
+
+let pp_error ppf = function
+  | Transport e -> Transport.pp_recv_error ppf e
+  | Protocol m -> Format.fprintf ppf "protocol violation: %s" m
+  | Server { code; msg } -> Format.fprintf ppf "server error [%s] %s" code msg
+  | Digest_mismatch { digest } ->
+    Format.fprintf ppf "received bytes do not digest to %s" digest
+
+let head_ref = "fleet:head"
+
+let head store ~base =
+  match Store.find_ref store head_ref with
+  | None -> base
+  | Some d -> ( match Store.get store d with Some h -> h | None -> base)
+
+(* running totals across the attempts of one [sync] *)
+type totals = {
+  mutable committed : int;
+  mutable blobs_fetched : int;
+  mutable bytes_fetched : int;
+  mutable bytes_saved : int;
+  mutable redundant : int;
+  mutable dups : int;
+}
+
+let check_linkage head0 (items : Wire.manifest_item list) =
+  let rec go expect = function
+    | [] -> Ok ()
+    | (i : Wire.manifest_item) :: rest ->
+      if not (String.equal i.mi_base expect) then
+        Error
+          (Protocol
+             (Printf.sprintf "manifest chain broken: expected base %s, got %s"
+                expect i.mi_base))
+      else if String.equal i.mi_next i.mi_base then
+        Error (Protocol "manifest entry maps a source state to itself")
+      else go i.mi_next rest
+  in
+  go head0 items
+
+(* commit every leading manifest entry whose blob and re-derived object
+   closure are all locally present: the ref flip (entry + head) is one
+   journal record, so a kill between blobs leaves the chain at the last
+   whole entry *)
+let commit_ready store (items : Wire.manifest_item array) committed totals =
+  let rec go () =
+    if !committed < Array.length items then begin
+      let i = items.(!committed) in
+      match Store.get store i.mi_blob with
+      | None -> ()
+      | Some raw ->
+        if List.for_all (Store.mem store) (Repo.closure raw) then begin
+          Store.with_txn store (fun () ->
+              let hd = Store.put store i.mi_next in
+              Store.commit_refs store
+                [ (Repo.entry_ref i.mi_base, i.mi_blob); (head_ref, hd) ]);
+          incr committed;
+          totals.committed <- totals.committed + 1;
+          go ()
+        end
+    end
+  in
+  go ()
+
+let sync_once ~id ~store ~base totals (tr : Transport.t) =
+  let r = Transport.reader tr in
+  let send f = Result.map_error (fun e -> Transport e) (Transport.send_frame tr f) in
+  let recv () = Result.map_error (fun e -> Transport e) (Transport.recv_frame r) in
+  let ( let* ) = Result.bind in
+  let* () = send (Wire.Hello { version = Wire.version; peer = id }) in
+  let* ack = recv () in
+  let* () =
+    match ack with
+    | Wire.Hello_ack { version; _ } when version = Wire.version -> Ok ()
+    | Wire.Hello_ack { version; _ } ->
+      Error (Protocol (Printf.sprintf "server speaks v%d" version))
+    | Wire.Err { code; msg } -> Error (Server { code; msg })
+    | f -> Error (Protocol (Format.asprintf "expected hello-ack, got %a" Wire.pp_frame f))
+  in
+  let head0 = head store ~base in
+  let* () = send (Wire.Head { digest = head0 }) in
+  let* m = recv () in
+  let* items =
+    match m with
+    | Wire.Manifest items -> Ok items
+    | Wire.Err { code; msg } -> Error (Server { code; msg })
+    | f -> Error (Protocol (Format.asprintf "expected manifest, got %a" Wire.pp_frame f))
+  in
+  let* () = check_linkage head0 items in
+  let server_head =
+    match List.rev items with [] -> head0 | last :: _ -> last.Wire.mi_next
+  in
+  (* delta sync: want only what the store lacks, oldest entry first;
+     account the bytes the CAS already holds as saved *)
+  let present = Hashtbl.create 64 in
+  let wanted = Hashtbl.create 64 in
+  let wants = ref [] in
+  let consider d size =
+    if not (Hashtbl.mem present d || Hashtbl.mem wanted d) then
+      if Store.mem store d then begin
+        Hashtbl.replace present d ();
+        totals.bytes_saved <- totals.bytes_saved + size
+      end
+      else begin
+        Hashtbl.replace wanted d ();
+        wants := d :: !wants
+      end
+  in
+  List.iter
+    (fun (i : Wire.manifest_item) ->
+      consider i.mi_blob i.mi_size;
+      List.iter (fun (d, sz) -> consider d sz) i.mi_objects)
+    items;
+  let wants = List.rev !wants in
+  let items = Array.of_list items in
+  let committed = ref 0 in
+  commit_ready store items committed totals;
+  let* () = send (Wire.Want wants) in
+  let outstanding = Hashtbl.copy wanted in
+  let rec stream () =
+    let* f = recv () in
+    match f with
+    | Wire.Blob { digest; bytes } ->
+      if not (Hashtbl.mem outstanding digest) then begin
+        (* duplicate delivery or an unsolicited blob: tolerated, never
+           verified or stored — it cannot displace verified bytes *)
+        totals.dups <- totals.dups + 1;
+        stream ()
+      end
+      else if not (String.equal (Store.digest_of_string bytes) digest) then
+        Error (Digest_mismatch { digest })
+      else begin
+        if Hashtbl.mem present digest then
+          totals.redundant <- totals.redundant + 1;
+        let (_ : string) = Store.put store bytes in
+        Hashtbl.remove outstanding digest;
+        totals.blobs_fetched <- totals.blobs_fetched + 1;
+        totals.bytes_fetched <- totals.bytes_fetched + String.length bytes;
+        commit_ready store items committed totals;
+        stream ()
+      end
+    | Wire.Done { head = h } ->
+      if not (String.equal h server_head) then
+        Error
+          (Protocol
+             (Printf.sprintf "done head %s contradicts manifest head %s" h
+                server_head))
+      else if Hashtbl.length outstanding > 0 then
+        Error
+          (Protocol
+             (Printf.sprintf "done with %d blobs still outstanding"
+                (Hashtbl.length outstanding)))
+      else if !committed < Array.length items then
+        Error
+          (Protocol
+             (Printf.sprintf
+                "done with entry %d uncommitted: manifest object set was \
+                 incomplete"
+                !committed))
+      else Ok server_head
+    | Wire.Err { code; msg } -> Error (Server { code; msg })
+    | f ->
+      Error (Protocol (Format.asprintf "expected blob or done, got %a" Wire.pp_frame f))
+  in
+  stream ()
+
+type report = {
+  r_head : string;
+  r_synced : bool;
+  r_attempts : int;
+  r_delays : int list;
+  r_committed : int;
+  r_blobs_fetched : int;
+  r_bytes_fetched : int;
+  r_bytes_saved : int;
+  r_redundant : int;
+  r_dups : int;
+  r_log : string list;
+}
+
+let sync ?(policy = default_policy) ?(sleep = fun _ -> ()) ?(id = "subscriber")
+    ~store ~base ~connect () =
+  let totals =
+    { committed = 0; blobs_fetched = 0; bytes_fetched = 0; bytes_saved = 0;
+      redundant = 0; dups = 0 }
+  in
+  let finish ~head:r_head ~synced ~attempts ~delays ~log =
+    {
+      r_head;
+      r_synced = synced;
+      r_attempts = attempts;
+      r_delays = List.rev delays;
+      r_committed = totals.committed;
+      r_blobs_fetched = totals.blobs_fetched;
+      r_bytes_fetched = totals.bytes_fetched;
+      r_bytes_saved = totals.bytes_saved;
+      r_redundant = totals.redundant;
+      r_dups = totals.dups;
+      r_log = List.rev log;
+    }
+  in
+  let rec attempt n delays log =
+    if n > policy.retries then
+      (* graceful degradation: every attempt failed — keep serving the
+         old chain head; everything durably committed so far stays *)
+      finish ~head:(head store ~base) ~synced:false ~attempts:(n - 1) ~delays
+        ~log
+    else
+      let outcome =
+        match connect n with
+        | None -> Error "connect refused"
+        | Some tr ->
+          let res = sync_once ~id ~store ~base totals tr in
+          tr.Transport.close ();
+          Result.map_error (Format.asprintf "%a" pp_error) res
+      in
+      match outcome with
+      | Ok h -> finish ~head:h ~synced:true ~attempts:n ~delays ~log
+      | Error e ->
+        let log = Printf.sprintf "attempt %d: %s" n e :: log in
+        if n >= policy.retries then
+          finish ~head:(head store ~base) ~synced:false ~attempts:n ~delays
+            ~log
+        else begin
+          let d = retry_delay policy ~id ~attempt:n in
+          sleep d;
+          attempt (n + 1) (d :: delays) log
+        end
+  in
+  attempt 1 [] []

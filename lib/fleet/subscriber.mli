@@ -1,0 +1,80 @@
+(** The uptrack-style subscriber: mirrors a server's update chain into a
+    local {!Store.t} over the wire protocol, surviving every transport
+    fault the simulation can inject.
+
+    Robustness invariants:
+    - {b re-digest on receive}: every blob is digested before it is
+      believed; a corrupted frame or lying server yields a typed error
+      and a retry, never a poisoned store.
+    - {b all-or-nothing per entry}: a chain entry becomes visible only
+      via {!Store.with_txn}/{!Store.commit_refs}, and only once the
+      entry blob {e and} its re-derived object closure are all present —
+      a killed sync never exposes a partial chain.
+    - {b resume, never re-download}: wants are computed by set
+      difference against the local store, so blobs verified in an
+      earlier attempt (even an aborted one) are never transferred again.
+    - {b bounded-exponential retry} with seeded jitter (the Manager's
+      backoff shape), and {b graceful degradation}: when the server is
+      unreachable the subscriber keeps serving its old chain head.
+
+    The local mirror uses the same layout as the server
+    ({!Ksplice.Repository.entry_ref} refs over a store), so
+    {!Ksplice.Repository.of_store} gives pending/sync/fsck/gc over it
+    directly. The subscriber's own position lives under the
+    ["fleet:head"] ref and advances atomically with each entry. *)
+
+(** Retry schedule: bounded exponential backoff plus deterministic
+    seeded jitter, the {!Manager} shape — delays are abstract ticks
+    (the caller decides whether to sleep them). *)
+type policy = {
+  retries : int;  (** maximum connection attempts *)
+  backoff_base : int;
+  backoff_cap : int;  (** ceiling, pre-jitter *)
+  jitter : int;  (** jitter bound; same seed and id => same schedule *)
+  seed : int;
+}
+
+val default_policy : policy
+
+(** [retry_delay pol ~id ~attempt] — exposed for tests and the sweep. *)
+val retry_delay : policy -> id:string -> attempt:int -> int
+
+type error =
+  | Transport of Transport.recv_error
+  | Protocol of string  (** unexpected frame, bad manifest linkage, … *)
+  | Server of { code : string; msg : string }  (** the server said no *)
+  | Digest_mismatch of { digest : string }
+      (** received bytes do not digest to what was announced *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [head store ~base] is the locally durable chain position: the
+    ["fleet:head"] ref if a sync ever committed, else [base]. *)
+val head : Store.t -> base:string -> string
+
+(** Outcome of {!sync} — also the degraded outcome, when every attempt
+    failed and the subscriber keeps serving its old head. *)
+type report = {
+  r_head : string;  (** position after the sync (old head if degraded) *)
+  r_synced : bool;  (** reached the server's chain head *)
+  r_attempts : int;
+  r_delays : int list;  (** backoff ticks chosen between attempts *)
+  r_committed : int;  (** entries committed across all attempts *)
+  r_blobs_fetched : int;
+  r_bytes_fetched : int;
+  r_bytes_saved : int;  (** bytes of needed blobs already present *)
+  r_redundant : int;  (** verified receives of already-present blobs —
+                          the zero-redundant-transfer invariant *)
+  r_dups : int;  (** duplicate/unsolicited frames tolerated *)
+  r_log : string list;  (** one line per failed attempt *)
+}
+
+(** [sync ~store ~base ~connect ()] brings the local mirror up to the
+    server's chain head. [connect attempt] opens a fresh transport for
+    each attempt ([None] = connection refused; counted and retried).
+    [sleep] is called with each backoff delay (default: ignore — the
+    simulation has no clock). Total: degradation is a report, not an
+    error. *)
+val sync :
+  ?policy:policy -> ?sleep:(int -> unit) -> ?id:string -> store:Store.t ->
+  base:string -> connect:(int -> Transport.t option) -> unit -> report

@@ -137,10 +137,11 @@ let compile_one ~options path contents =
     let u =
       if String.ends_with ~suffix:".c" path then begin
         match Minic.Driver.compile ~options ~unit_name:path contents with
-        | { obj; inline_decisions } ->
+        | Ok { obj; inline_decisions } ->
           { source_name = path; obj; inline_decisions }
-        | exception Minic.Driver.Error m ->
-          raise (Fail (Unit_compile_failed { unit_name = path; reason = m }))
+        | Error e ->
+          let reason = Format.asprintf "%a" Minic.Driver.pp_error e in
+          raise (Fail (Unit_compile_failed { unit_name = path; reason }))
       end
       else begin
         match

@@ -16,25 +16,41 @@ type compiled = {
   inline_decisions : Inline.decision list;
 }
 
-exception Error of string
+type error =
+  | Parse_error of { unit_name : string; line : int; msg : string }
+  | Type_error of { unit_name : string; msg : string }
 
-let err fmt = Format.kasprintf (fun m -> raise (Error m)) fmt
+let pp_error ppf = function
+  | Parse_error { unit_name; line; msg } ->
+    Format.fprintf ppf "%s:%d: %s" unit_name line msg
+  | Type_error { unit_name; msg } -> Format.fprintf ppf "%s: %s" unit_name msg
 
 let compile ~options ~unit_name src =
-  let ast =
-    try Parser.parse src with
-    | Lexer.Error { line; msg } -> err "%s:%d: %s" unit_name line msg
-    | Parser.Error { line; msg } -> err "%s:%d: %s" unit_name line msg
-  in
-  let inlined =
-    if options.inline_enabled then
-      Inline.run ~auto_max:options.auto_inline_max
-        ~explicit_max:options.explicit_inline_max ast
-    else { Inline.program = ast; decisions = [] }
-  in
-  let tunit =
-    try Typecheck.check ~unit_name inlined.program
-    with Typecheck.Error m -> err "%s: %s" unit_name m
-  in
-  let obj = Codegen.compile_unit ~options:options.codegen tunit in
-  { obj; inline_decisions = inlined.decisions }
+  match
+    match Parser.parse src with
+    | ast -> Ok ast
+    | exception Lexer.Error { line; msg } ->
+      Error (Parse_error { unit_name; line; msg })
+    | exception Parser.Error { line; msg } ->
+      Error (Parse_error { unit_name; line; msg })
+  with
+  | Error e -> Error e
+  | Ok ast -> (
+    let inlined =
+      if options.inline_enabled then
+        Inline.run ~auto_max:options.auto_inline_max
+          ~explicit_max:options.explicit_inline_max ast
+      else { Inline.program = ast; decisions = [] }
+    in
+    match Typecheck.check ~unit_name inlined.program with
+    | exception Typecheck.Error msg -> Error (Type_error { unit_name; msg })
+    | tunit ->
+      let obj = Codegen.compile_unit ~options:options.codegen tunit in
+      Ok { obj; inline_decisions = inlined.decisions })
+
+exception Error of string
+
+let compile_exn ~options ~unit_name src =
+  match compile ~options ~unit_name src with
+  | Ok c -> c
+  | Error e -> raise (Error (Format.asprintf "%a" pp_error e))

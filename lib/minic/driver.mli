@@ -21,8 +21,22 @@ type compiled = {
   inline_decisions : Inline.decision list;
 }
 
-exception Error of string
-(** Compilation failure: parse or type error, with unit name and message. *)
+(** Compilation failure as data: a lex/parse error with its line, or a
+    type error — each carrying the unit name. *)
+type error =
+  | Parse_error of { unit_name : string; line : int; msg : string }
+  | Type_error of { unit_name : string; msg : string }
 
-(** [compile ~options ~unit_name src] compiles one unit. *)
-val compile : options:options -> unit_name:string -> string -> compiled
+val pp_error : Format.formatter -> error -> unit
+
+(** [compile ~options ~unit_name src] compiles one unit. Total: lexer,
+    parser, and typechecker failures come back as typed errors. *)
+val compile :
+  options:options -> unit_name:string -> string -> (compiled, error) result
+
+exception Error of string
+(** Compilation failure rendered through {!pp_error} — raised only by
+    {!compile_exn}. *)
+
+(** Legacy raising variant of {!compile}. @raise Error *)
+val compile_exn : options:options -> unit_name:string -> string -> compiled

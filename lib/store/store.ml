@@ -315,14 +315,7 @@ let recover_dir ~vfs ~mrefs dir =
     tmp_removed;
   }
 
-let create ?(name = "store") ?(capacity = 1024) ?dir ?(vfs = Vfs.real)
-    ?(recover = true) () =
-  (match dir with
-  | None -> ()
-  | Some d ->
-    mkdir_p vfs d;
-    mkdir_p vfs (blobs_dir d);
-    mkdir_p vfs (refs_dir d));
+let build ~name ~capacity ~dir ~vfs ~recover =
   let t =
     {
       sname = name;
@@ -360,6 +353,59 @@ let create ?(name = "store") ?(capacity = 1024) ?dir ?(vfs = Vfs.real)
     t.last_recovery <- Some (recover_dir ~vfs ~mrefs:t.mrefs d)
   | _ -> ());
   t
+
+(* --- shared in-process registry --- *)
+
+(* Handles opened on the same directory share one memory tier (and one
+   mutex, journal state, and recovery), so a daemon's many readers and a
+   publisher in the same process see each other's writes without disk
+   round-trips. Keyed by canonical path plus (device, inode): the inode
+   pair keeps two spellings of one directory together, and the path
+   keeps a recycled inode number (temp dirs churn fast) from aliasing an
+   unrelated directory. Entries are weak, so an abandoned handle is
+   collected rather than pinned forever. Only plain handles are shared:
+   an injected [vfs] is a private fault simulation, and [recover:false]
+   is read-only inspection that must see the disk as it is, not a warm
+   cache. Simulating a separate process rebooting into a directory this
+   process already has open wants [share:false]. *)
+let registry : (string * int * int, t Weak.t) Hashtbl.t = Hashtbl.create 8
+let registry_m = Mutex.create ()
+
+let dir_identity d =
+  match
+    let rp = try Unix.realpath d with Unix.Unix_error _ -> d in
+    (rp, Unix.stat d)
+  with
+  | rp, st -> Some (rp, st.Unix.st_dev, st.Unix.st_ino)
+  | exception Unix.Unix_error _ -> None
+
+let create ?(name = "store") ?(capacity = 1024) ?dir ?(vfs = Vfs.real)
+    ?(recover = true) ?(share = true) () =
+  (match dir with
+  | None -> ()
+  | Some d ->
+    mkdir_p vfs d;
+    mkdir_p vfs (blobs_dir d);
+    mkdir_p vfs (refs_dir d));
+  let sharable = share && vfs == Vfs.real && recover in
+  match dir with
+  | Some d when sharable -> (
+    match dir_identity d with
+    | None -> build ~name ~capacity ~dir ~vfs ~recover
+    | Some key ->
+      Mutex.lock registry_m;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock registry_m)
+        (fun () ->
+          match Hashtbl.find_opt registry key with
+          | Some w when Weak.get w 0 <> None -> Option.get (Weak.get w 0)
+          | _ ->
+            let t = build ~name ~capacity ~dir ~vfs ~recover in
+            let w = Weak.create 1 in
+            Weak.set w 0 (Some t);
+            Hashtbl.replace registry key w;
+            t))
+  | _ -> build ~name ~capacity ~dir ~vfs ~recover
 
 let recovery t = t.last_recovery
 

@@ -65,6 +65,16 @@ val digest_of_string : string -> digest
     opening a disk store replays the journal and sweeps orphan temp
     files; the result is available from {!recovery}.
 
+    Two handles opened on the same directory (identified by device and
+    inode, so a deleted-and-recreated path never aliases) share one
+    in-process handle — one memory tier, one mutex, one journal state —
+    so a distribution daemon's many concurrent readers and a publisher
+    see each other's writes without disk round-trips. Sharing applies
+    only to plain handles ([vfs] = {!Vfs.real} and [recover] true); pass
+    [share:false] to force a private handle, e.g. to simulate a separate
+    process rebooting into the directory cold. A shared hit keeps the
+    first creator's [name] and [capacity].
+
     Raises {!Vfs.Io_error} when the disk tier cannot be initialised
     (e.g. [dir] exists but is not a directory, or mkdir fails). *)
 val create :
@@ -73,6 +83,7 @@ val create :
   ?dir:string ->
   ?vfs:Vfs.t ->
   ?recover:bool ->
+  ?share:bool ->
   unit ->
   t
 

@@ -14,7 +14,7 @@ let check = Alcotest.check
 let t name f = Alcotest.test_case name `Quick f
 
 let compile ~unit_name src =
-  (Minic.Driver.compile ~options:Minic.Driver.run_build ~unit_name src).obj
+  (Minic.Driver.compile_exn ~options:Minic.Driver.run_build ~unit_name src).obj
 
 let asm ~unit_name src =
   Asm.Assembler.assemble ~unit_name ~function_sections:false src

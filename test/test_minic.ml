@@ -12,7 +12,7 @@ let check = Alcotest.check
 let int32_c = Alcotest.int32
 
 let compile ?(opts = Driver.run_build) ?(unit_name = "t.c") src =
-  (Driver.compile ~options:opts ~unit_name src).obj
+  (Driver.compile_exn ~options:opts ~unit_name src).obj
 
 let boot objs =
   let img = Image.link_exn ~base:0x100000 objs in
@@ -292,7 +292,7 @@ int probe(int v) { return get_level() * v; }
   in
   check int32_c "inlined accessor" 15l (exec src "probe" [ 3l ]);
   let { Driver.inline_decisions; _ } =
-    Driver.compile ~options:Driver.run_build ~unit_name:"t.c" src
+    Driver.compile_exn ~options:Driver.run_build ~unit_name:"t.c" src
   in
   Alcotest.(check bool)
     "decision recorded" true
@@ -318,7 +318,7 @@ int probe(int v) { return clamp(v); }
   in
   ignore (exec src "probe" [ 150l ]);
   let { Driver.inline_decisions; _ } =
-    Driver.compile ~options:Driver.run_build ~unit_name:"t.c" src
+    Driver.compile_exn ~options:Driver.run_build ~unit_name:"t.c" src
   in
   Alcotest.(check bool)
     "explicit inline honoured" true

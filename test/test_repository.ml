@@ -158,7 +158,7 @@ let test_entry_roundtrip_on_disk () =
   with_repo (fun dir repo ->
       let e1, _ = publish_chain repo in
       (* a fresh handle must read back the same chain from disk alone *)
-      let repo2 = ok "reopen" (Repo.open_dir dir) in
+      let repo2 = ok "reopen" (Repo.open_dir ~share:false dir) in
       let chain = pending repo2 ~digest:e1.base_digest in
       Alcotest.(check int) "read back" 2 (List.length chain);
       let e = List.hd chain in
@@ -184,8 +184,10 @@ let spit path s =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
 
 let check_degrades_gracefully dir ~base_digest =
-  (* a fresh handle (empty memory tier) must see the damage *)
-  let repo2 = ok "reopen" (Repo.open_dir dir) in
+  (* a fresh handle (empty memory tier) must see the damage;
+     [share:false] opts out of the in-process registry so the reopen
+     reads the damaged disk cold, like a separate process would *)
+  let repo2 = ok "reopen" (Repo.open_dir ~share:false dir) in
   (match Repo.pending repo2 ~digest:base_digest with
   | Error (Repo.Corrupt_entry { digest; _ }) ->
     Alcotest.(check string) "corruption names the entry" base_digest digest

@@ -57,7 +57,7 @@ let prop_disk_roundtrip_and_tamper =
             Store.put s blob
           in
           (* fresh handle: the blob must come back from disk verbatim *)
-          let s2 = Store.create ~name:"r" ~dir () in
+          let s2 = Store.create ~name:"r" ~dir ~share:false () in
           let roundtrips = Store.get s2 d = Some blob in
           (* flip one byte on disk; a third handle must refuse the blob *)
           let path = Filename.concat (Filename.concat dir "blobs") d in
@@ -66,7 +66,7 @@ let prop_disk_roundtrip_and_tamper =
           Bytes.set raw i (Char.chr (Char.code (Bytes.get raw i) lxor 1));
           Out_channel.with_open_bin path (fun oc ->
               Out_channel.output_bytes oc raw);
-          let s3 = Store.create ~name:"r2" ~dir () in
+          let s3 = Store.create ~name:"r2" ~dir ~share:false () in
           let rejected =
             match Store.load s3 d with
             | Error (`Corrupt _) -> true
@@ -214,11 +214,39 @@ let test_store_contents_deterministic () =
   in
   Alcotest.(check string) "identical runs, identical contents" (run ()) (run ())
 
+(* two handles on one directory share one in-process memory tier; a
+   private handle, a different directory, or an injected vfs do not *)
+let test_shared_registry () =
+  with_dir (fun dir ->
+      let a = Store.create ~name:"first" ~dir () in
+      let b = Store.create ~name:"second" ~dir () in
+      Alcotest.(check bool) "same handle" true (a == b);
+      Alcotest.(check string) "first creator's name wins" "first"
+        (Store.name b);
+      let d = Store.put a "shared bytes" in
+      Alcotest.(check (option string))
+        "write visible through the other handle, no disk round-trip"
+        (Some "shared bytes") (Store.get b d);
+      let cold = Store.create ~name:"cold" ~dir ~share:false () in
+      Alcotest.(check bool) "share:false is private" true (cold != a);
+      let vfs, _ =
+        Vfs.inject { Vfs.at = max_int; kind = Vfs.Crash; seed = 0 } Vfs.real
+      in
+      let sim = Store.create ~name:"sim" ~dir ~vfs () in
+      Alcotest.(check bool) "injected vfs is never shared" true (sim != a);
+      let ro = Store.create ~name:"ro" ~dir ~recover:false () in
+      Alcotest.(check bool) "recover:false is never shared" true (ro != a);
+      with_dir (fun other ->
+          let c = Store.create ~name:"other" ~dir:other () in
+          Alcotest.(check bool) "different directory" true (c != a)))
+
 let suite =
   [
     ( "store",
       [
         QCheck_alcotest.to_alcotest prop_put_get;
+        t "same-directory handles share one memory tier"
+          test_shared_registry;
         QCheck_alcotest.to_alcotest prop_eviction_is_invisible;
         QCheck_alcotest.to_alcotest prop_disk_roundtrip_and_tamper;
         t "dedup accounting" test_dedup_accounting;
