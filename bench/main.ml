@@ -1033,6 +1033,145 @@ let fleet_bench ?(subscribers = 512) () =
   if synced <> subscribers then
     print_endline "*** FLEET BENCH: not every subscriber synced ***"
 
+(* ---------- CU: cumulative updates (atomic replace) ---------- *)
+
+type cumulative_row = {
+  cb_requested : int;
+  cb_depth : int;  (** chain entries actually published *)
+  cb_stacked_s : float;  (** applying the chain hop by hop *)
+  cb_collapse_s : float;  (** one atomic replace of the whole stack *)
+  cb_chain_bytes : int;  (** wire bytes of the per-update chain *)
+  cb_cumulative_bytes : int;  (** wire bytes of the one cumulative hop *)
+  cb_footprints_identical : bool;
+}
+
+let cumulative_result : cumulative_row list ref = ref []
+
+let cumulative_bench ?(depths = [ 1; 8; 32 ]) () =
+  section "Cumulative updates: atomic replace vs the stacked chain";
+  let rows =
+    List.map
+      (fun requested ->
+        (* a chain of corpus CVEs, each still applicable to the
+           successively patched tree, published like the fleet bench's *)
+        let repo =
+          Repo.of_store
+            (Store.create ~name:(Printf.sprintf "cum-bench-%d" requested) ())
+        in
+        let tree = ref base and updates = ref [] in
+        List.iter
+          (fun (cve : Corpus.Cve.t) ->
+            if
+              List.length !updates < requested
+              && Corpus.Cve.applies_to cve !tree
+            then begin
+              let patch = Corpus.Cve.hot_patch cve !tree in
+              match
+                Create.create
+                  { source = !tree; patch; update_id = cve.id;
+                    description = cve.desc }
+              with
+              | Error e ->
+                Format.kasprintf failwith "cumulative bench create: %a"
+                  Create.pp_error e
+              | Ok c -> (
+                (match
+                   Repo.publish repo ~source:!tree ~patch ~update:c.update
+                 with
+                | Ok _ -> ()
+                | Error e ->
+                  Format.kasprintf failwith "cumulative bench publish: %a"
+                    Repo.pp_error e);
+                match Diff.apply patch !tree with
+                | Ok t ->
+                  updates := c.update :: !updates;
+                  tree := t
+                | Error m -> failwith ("cumulative bench apply: " ^ m))
+            end)
+          Corpus.Cve.all;
+        let chain = List.rev !updates in
+        let depth = List.length chain in
+        let base_digest = Tree.digest base in
+        (* the manifest advertises the cumulative hop once published, so
+           measuring it before and after the collapse yields the wire
+           bytes of the chain vs the single replacement hop *)
+        let manifest_bytes () =
+          match Repo.manifest repo ~digest:base_digest with
+          | Ok m ->
+            List.fold_left
+              (fun acc (e : Repo.manifest_entry) ->
+                acc + e.me_size
+                + List.fold_left (fun a (_, s) -> a + s) 0 e.me_objects)
+              0 m
+          | Error e ->
+            Format.kasprintf failwith "cumulative bench manifest: %a"
+              Repo.pp_error e
+        in
+        let chain_bytes = manifest_bytes () in
+        let cum =
+          match
+            Repo.publish_cumulative repo ~source:base
+              ~update_id:(Printf.sprintf "cumulative-%d" depth)
+              ~description:(Printf.sprintf "collapse of %d update(s)" depth)
+          with
+          | Ok e -> e.Repo.update
+          | Error e ->
+            Format.kasprintf failwith "cumulative bench collapse: %a"
+              Repo.pp_error e
+        in
+        let cumulative_bytes = manifest_bytes () in
+        let apply_ok mgr u =
+          match Apply.apply mgr u with
+          | Ok _ -> ()
+          | Error e ->
+            Format.kasprintf failwith "cumulative bench apply: %a"
+              Apply.pp_error e
+        in
+        (* twin A: the stacked chain, timed hop by hop *)
+        let ba = Corpus.Boot.boot () in
+        let mgra = Apply.init ba.machine in
+        let t0 = now () in
+        List.iter (apply_ok mgra) chain;
+        let stacked_s = now () -. t0 in
+        (* twin B: the same stack, then one timed atomic replace *)
+        let bb = Corpus.Boot.boot () in
+        let mgrb = Apply.init bb.machine in
+        List.iter (apply_ok mgrb) chain;
+        let t1 = now () in
+        (match Apply.apply_cumulative mgrb cum with
+        | Ok _ -> ()
+        | Error e ->
+          Format.kasprintf failwith "cumulative bench replace: %a"
+            Apply.pp_error e);
+        let collapse_s = now () -. t1 in
+        (* footprint parity: unwind twin A by hand, plain-apply, compare *)
+        List.iter
+          (fun (u : Update.t) ->
+            match Apply.undo mgra u.update_id with
+            | Ok () -> ()
+            | Error e ->
+              Format.kasprintf failwith "cumulative bench undo: %a"
+                Apply.pp_error e)
+          (List.rev chain);
+        apply_ok mgra cum;
+        let identical =
+          String.equal (Apply.footprint mgra) (Apply.footprint mgrb)
+        in
+        Printf.printf
+          "depth %2d: stacked apply %.3f s, atomic replace %.3f s; wire %d \
+           -> %d bytes; footprints identical: %b\n"
+          depth stacked_s collapse_s chain_bytes cumulative_bytes identical;
+        { cb_requested = requested; cb_depth = depth;
+          cb_stacked_s = stacked_s; cb_collapse_s = collapse_s;
+          cb_chain_bytes = chain_bytes;
+          cb_cumulative_bytes = cumulative_bytes;
+          cb_footprints_identical = identical })
+      depths
+  in
+  cumulative_result := rows;
+  if List.exists (fun r -> not r.cb_footprints_identical) rows then
+    print_endline "*** CUMULATIVE BENCH: footprint divergence ***"
+
 (* ---------- P: Bechamel timing ---------- *)
 
 let bechamel_benches ?(quick = false) () =
@@ -1332,6 +1471,39 @@ let emit_bench_json ~mode () =
                 ("bytes_saved", num f.fb_bytes_saved);
                 ("ok", Bool (f.fb_synced = f.fb_subscribers));
               ] );
+        ( "cumulative",
+          match !cumulative_result with
+          | [] -> Null
+          | rows ->
+            Obj
+              [
+                ( "rows",
+                  Arr
+                    (List.map
+                       (fun r ->
+                         Obj
+                           [
+                             ("requested", num r.cb_requested);
+                             ("depth", num r.cb_depth);
+                             ("stacked_apply_s", Num r.cb_stacked_s);
+                             ("collapse_s", Num r.cb_collapse_s);
+                             ("chain_bytes", num r.cb_chain_bytes);
+                             ("cumulative_bytes", num r.cb_cumulative_bytes);
+                             ( "bytes_saved",
+                               num
+                                 (max 0
+                                    (r.cb_chain_bytes
+                                    - r.cb_cumulative_bytes)) );
+                             ( "footprints_identical",
+                               Bool r.cb_footprints_identical );
+                           ])
+                       rows) );
+                ( "ok",
+                  Bool
+                    (List.for_all
+                       (fun r -> r.cb_footprints_identical)
+                       rows) );
+              ] );
       ]
   in
   let oc = open_out !out_path in
@@ -1371,6 +1543,7 @@ let () =
     timed "transition_sweep" (fun () ->
         transition_sweep ~cves:(List.filteri (fun i _ -> i < 2) quick_cves) ());
     timed "fleet_bench" (fun () -> fleet_bench ());
+    timed "cumulative_bench" (fun () -> cumulative_bench ~depths:[ 1; 4 ] ());
     timed "bechamel" (fun () -> bechamel_benches ~quick:true ())
   end
   else begin
@@ -1393,6 +1566,7 @@ let () =
     timed "crash_sweep" (fun () -> crash_sweep ());
     timed "transition_sweep" (fun () -> transition_sweep ());
     timed "fleet_bench" (fun () -> fleet_bench ~subscribers:1024 ());
+    timed "cumulative_bench" (fun () -> cumulative_bench ());
     timed "appendix" appendix;
     timed "bechamel" (fun () -> bechamel_benches ())
   end;

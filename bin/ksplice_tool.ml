@@ -93,20 +93,27 @@ let cmd_inspect path =
 let cmd_objdump path =
   let data = read_file path in
   if String.length data >= 5 && String.sub data 0 5 = "KSPL1" then begin
-    let u = Update.of_bytes (Bytes.of_string data) in
-    Printf.printf "update %s\n\n=== primary module ===\n" u.update_id;
-    Format.printf "%a@." Objfile.Objdump.pp u.primary;
-    List.iter
-      (fun h ->
-        Printf.printf "\n=== helper (pre) module: %s ===\n" h.Objfile.unit_name;
-        Format.printf "%a@." Objfile.Objdump.pp h)
-      u.helpers
+    match Update.of_bytes (Bytes.of_string data) with
+    | Error e ->
+      Printf.eprintf "error: corrupt update file: %s\n"
+        (Update.decode_error_to_string e);
+      exit 1
+    | Ok u ->
+      Printf.printf "update %s\n\n=== primary module ===\n" u.update_id;
+      Format.printf "%a@." Objfile.Objdump.pp u.primary;
+      List.iter
+        (fun h ->
+          Printf.printf "\n=== helper (pre) module: %s ===\n"
+            h.Objfile.unit_name;
+          Format.printf "%a@." Objfile.Objdump.pp h)
+        u.helpers
   end
   else
     match Objfile.of_bytes (Bytes.of_string data) with
-    | o -> Format.printf "%a@." Objfile.Objdump.pp o
-    | exception Failure m ->
-      Printf.eprintf "error: not an update or object file: %s\n" m;
+    | Ok o -> Format.printf "%a@." Objfile.Objdump.pp o
+    | Error e ->
+      Printf.eprintf "error: not an update or object file: %s\n"
+        (Objfile.decode_error_to_string e);
       exit 1
 
 let cmd_export dir =
@@ -482,6 +489,33 @@ let cmd_bench_summary path only =
          (match J.member "ok" fl with
           | Some (J.Bool b) -> string_of_bool b
           | _ -> "?"));
+    (match J.member "cumulative" doc with
+     | None | Some J.Null -> ()
+     | Some cu ->
+       Printf.printf "cumulative updates:   atomic replace vs stacked chain (ok=%s)\n"
+         (match J.member "ok" cu with
+          | Some (J.Bool b) -> string_of_bool b
+          | _ -> "?");
+       (match field cu "rows" J.to_list with
+        | None | Some [] -> ()
+        | Some rows ->
+          List.iter
+            (fun r ->
+              let fstr k =
+                match field r k J.to_float with
+                | Some f -> Printf.sprintf "%.3f" f
+                | None -> "?"
+              in
+              Printf.printf
+                "  depth %3s: stacked %s s, collapse %s s; wire %s -> %s \
+                 bytes (%s saved), footprints identical=%s\n"
+                (istr r "depth") (fstr "stacked_apply_s") (fstr "collapse_s")
+                (istr r "chain_bytes") (istr r "cumulative_bytes")
+                (istr r "bytes_saved")
+                (match J.member "footprints_identical" r with
+                 | Some (J.Bool b) -> string_of_bool b
+                 | _ -> "?"))
+            rows));
     Ok ()
 
 let cmd_fault_sweep cve_ids seed jobs =
@@ -1062,6 +1096,55 @@ let cmd_fleet_sweep cve_ids seed jobs =
   Format.printf "%a@." Corpus.Sweep.pp_fleet report;
   if not (Corpus.Sweep.fleet_ok report) then exit 1
 
+(* --- cumulative updates: collapse / cumulative-sweep --- *)
+
+let cmd_collapse dir source id desc =
+  match Repo.open_dir dir with
+  | Error e ->
+    Format.eprintf "error: cannot open %s: %a@." dir Repo.pp_error e;
+    exit 2
+  | Ok repo -> (
+    let tree = read_tree source in
+    match
+      Repo.publish_cumulative repo ~source:tree ~update_id:id
+        ~description:(if desc = "" then "cumulative replacement" else desc)
+    with
+    | Error e ->
+      Format.eprintf "error: %a@." Repo.pp_error e;
+      exit 1
+    | Ok entry ->
+      let u = entry.Repo.update in
+      Printf.printf
+        "published cumulative update %s: %s -> %s\n" u.Update.update_id
+        (String.sub entry.base_digest 0 12)
+        (String.sub entry.next_digest 0 12);
+      Printf.printf "supersedes (%d, oldest first):\n"
+        (List.length u.supersedes);
+      List.iter (fun s -> Printf.printf "  %s\n" s) u.supersedes;
+      Printf.printf
+        "the per-update chain stays published for mid-chain subscribers\n")
+
+let cmd_cumulative_sweep depths seed jobs =
+  (* every fault cell intentionally aborts a collapse; the per-abort
+     warnings are noise here (use -v to see them) *)
+  if Logs.level () = Some Logs.Warning then Logs.set_level (Some Logs.Error);
+  let depths =
+    match depths with [] -> Corpus.Sweep.cumulative_depths | ds -> ds
+  in
+  Printf.printf
+    "collapsing corpus chains at depth(s) %s with a fault at every apply \
+     step, seed %d...\n%!"
+    (String.concat ", " (List.map string_of_int depths))
+    seed;
+  let report =
+    Corpus.Sweep.run_cumulative ~seed ~depths ?domains:jobs
+      ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+      ()
+  in
+  print_newline ();
+  Format.printf "%a@." Corpus.Sweep.pp_cumulative report;
+  if not (Corpus.Sweep.cumulative_ok report) then exit 1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -1503,6 +1586,78 @@ let fleet_sweep_cmd =
       const (fun v c s j -> setup_logs v; cmd_fleet_sweep c s j)
       $ verbose_t $ cves $ seed $ jobs)
 
+let collapse_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"On-disk repository directory.")
+  in
+  let source =
+    Arg.(
+      required
+      & opt (some Arg.dir) None
+      & info [ "source" ] ~docv:"SRCDIR"
+          ~doc:
+            "Source of the oldest kernel still in the fleet — the tree the \
+             pending chain starts from.")
+  in
+  let id =
+    Arg.(
+      value & opt string "cumulative"
+      & info [ "id" ] ~docv:"ID" ~doc:"Update identifier for the collapse.")
+  in
+  let desc =
+    Arg.(
+      value & opt string "" & info [ "m" ] ~docv:"TEXT" ~doc:"Description.")
+  in
+  Cmd.v
+    (Cmd.info "collapse"
+       ~doc:
+         "Collapse a repository's pending chain into one cumulative update \
+          (atomic replace): subscribers land the whole backlog in a single \
+          transaction that supersedes their applied stack, while the \
+          per-update chain stays published for mid-chain mirrors")
+    Term.(
+      const (fun v d s i m -> setup_logs v; cmd_collapse d s i m)
+      $ verbose_t $ dir $ source $ id $ desc)
+
+let cumulative_sweep_cmd =
+  let depths =
+    Arg.(
+      value & opt_all int []
+      & info [ "depth" ] ~docv:"N"
+          ~doc:
+            "Collapse a chain of $(docv) corpus CVEs (repeatable; default: \
+             1, 8 and 32).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Sweep up to $(docv) rows concurrently (default: one per core; \
+             1 forces a serial sweep).")
+  in
+  Cmd.v
+    (Cmd.info "cumulative-sweep"
+       ~doc:
+         "Publish corpus CVE chains at several depths, collapse each into \
+          a cumulative update, and verify atomic replace end to end: \
+          footprints byte-identical to the undo-then-apply twin, every \
+          injected fault rolling back the whole collapse, undo re-stacking \
+          the chain, and the shadow-variable extras (\u{00a7}5.3) \
+          round-tripping patch, exploit and un-collapse")
+    Term.(
+      const (fun v d s j -> setup_logs v; cmd_cumulative_sweep d s j)
+      $ verbose_t $ depths $ seed $ jobs)
+
 let bench_summary_cmd =
   let path =
     Arg.(
@@ -1539,6 +1694,7 @@ let () =
        (Cmd.group info
           [ create_cmd; inspect_cmd; objdump_cmd; export_cmd; list_cves_cmd;
             demo_cmd; fault_sweep_cmd; crash_sweep_cmd; transition_sweep_cmd;
-            fleet_sweep_cmd; serve_cmd; sync_cmd; fsck_cmd; gc_cmd;
+            fleet_sweep_cmd; cumulative_sweep_cmd; collapse_cmd; serve_cmd;
+            sync_cmd; fsck_cmd; gc_cmd;
             manager_run_cmd; manager_report_cmd; trace_cmd; metrics_cmd;
             store_stats_cmd; bench_summary_cmd ]))

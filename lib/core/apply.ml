@@ -29,6 +29,16 @@ type applied = {
   priv_ranges : (int * int) list;
   journal : Txn.journal;
   pause_ns : int;
+  (* the stack entries a cumulative apply atomically replaced, most
+     recent first ([] for an ordinary update): undoing the cumulative
+     replays its journal — which revives the displaced trampolines and
+     modules byte-for-byte — and hands this stack back *)
+  displaced : applied list;
+  (* the shadow table as the collapse found it ([] for an ordinary
+     update): the unwind detached these bindings via the displaced
+     updates' destructors, so undoing the cumulative re-attaches them —
+     their shadow memory still holds the collapse-time values *)
+  displaced_shadows : ((int * int) * int) list;
 }
 
 type not_quiescent = {
@@ -257,7 +267,7 @@ exception Engage_failed of error
 
 type engage_fn = engagement -> int
 
-let run_hooks t ~resolve (update : Update.t) kind =
+let run_named_hooks t ~resolve names =
   List.iter
     (fun sym ->
       match resolve sym with
@@ -266,41 +276,21 @@ let run_hooks t ~resolve (update : Update.t) kind =
         match Machine.call_function t.m ~addr ~args:[] with
         | Ok _ -> ()
         | Error f -> raise (Fail (Hook_fault (sym, f)))))
-    (hook_syms update.primary kind)
+    names
 
-let apply ?(tolerance = Runpre.full_tolerance)
-    ?(max_attempts = default_max_attempts)
-    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
-    ?(retry_budget = default_retry_budget) ?deadline ?inject ?engage t
-    (update : Update.t) =
-  Trace.with_span "apply" ~fields:[ ("update", Trace.Str update.update_id) ]
-  @@ fun () ->
-  let txn = Txn.begin_ t.m in
-  (* one span per transaction step, siblings under the apply span; the
-     current one is closed when the next step opens (or on exit) *)
-  let step_span = ref None in
-  let close_step () =
-    match !step_span with
-    | Some sp ->
-      Trace.end_span sp;
-      step_span := None
-    | None -> ()
-  in
-  let enter s =
-    close_step ();
-    step_span := Some (Trace.begin_span ("apply.step." ^ Txn.step_name s));
-    Txn.enter txn s;
-    match inject with
-    | None -> ()
-    | Some i ->
-      (* a Sched_perturb injection runs real kernel code at the step
-         boundary; its writes are scheduler progress, not machinery *)
-      Txn.with_tag txn Txn.Sched (fun () -> Faultinj.on_step i s)
-  in
-  let finish_inject () =
-    match inject with None -> () | Some i -> Faultinj.disarm i
-  in
-  try
+let run_hooks t ~resolve (update : Update.t) kind =
+  run_named_hooks t ~resolve (hook_syms update.primary kind)
+
+(* The apply pipeline body — duplicate check through the engagement and
+   commit hooks. Runs inside [txn], which the caller begins, commits and
+   rolls back; [enter] advances the step marker (and notifies any armed
+   fault-injection session). Returns a constructor for the [applied]
+   record, deferred so the caller can commit the transaction and supply
+   the resulting journal (for a cumulative apply, that journal also
+   covers the unwinding of the displaced stack). Raises [Fail]. *)
+let apply_pipeline ~txn ~enter ~tolerance ~max_attempts ~retry_base
+    ~retry_cap ~retry_budget ~deadline ~inject ~engage t (update : Update.t) =
+  begin
     if List.exists (fun a -> a.update.Update.update_id = update.update_id)
          t.stack
     then raise (Fail (Already_applied update.update_id));
@@ -481,7 +471,11 @@ let apply ?(tolerance = Runpre.full_tolerance)
         replacements;
       Trace.count "apply.trampolines" (List.length replacements);
       Txn.with_tag txn Txn.Hook (fun () ->
-          run_hooks t ~resolve update Ast.Hook_apply)
+          run_hooks t ~resolve update Ast.Hook_apply;
+          (* shadow constructors run the moment the replacement code goes
+             live, so no thread observes new code without its side-table
+             state (§5.3) *)
+          run_named_hooks t ~resolve update.shadow_ctors)
     in
     let veto () =
       match inject with
@@ -567,19 +561,65 @@ let apply ?(tolerance = Runpre.full_tolerance)
     enter Txn.Commit;
     Txn.with_tag txn Txn.Hook (fun () ->
         run_hooks t ~resolve update Ast.Hook_post_apply);
-    let journal = Txn.commit txn in
-    close_step ();
     Trace.observe "apply.pause_ns" (float_of_int pause_ns);
-    finish_inject ();
-    let a =
+    fun ~journal ~displaced ~displaced_shadows ->
       { update; replacements; saved = List.rev !saved; module_ranges;
         module_image = writes; added_symbols; priv_ranges; journal;
-        pause_ns }
+        pause_ns; displaced; displaced_shadows }
+  end
+
+(* Shared transaction scaffolding for [apply] and [apply_cumulative]:
+   one trace span per transaction step (siblings under the caller's
+   span; the current one closes when the next step opens or on exit),
+   with any armed fault-injection session notified at step boundaries. *)
+let with_apply_txn ~span_prefix ~inject t f =
+  let txn = Txn.begin_ t.m in
+  let step_span = ref None in
+  let close_step () =
+    match !step_span with
+    | Some sp ->
+      Trace.end_span sp;
+      step_span := None
+    | None -> ()
+  in
+  let enter s =
+    close_step ();
+    step_span := Some (Trace.begin_span (span_prefix ^ ".step." ^ Txn.step_name s));
+    Txn.enter txn s;
+    match inject with
+    | None -> ()
+    | Some i ->
+      (* a Sched_perturb injection runs real kernel code at the step
+         boundary; its writes are scheduler progress, not machinery *)
+      Txn.with_tag txn Txn.Sched (fun () -> Faultinj.on_step i s)
+  in
+  let finish_inject () =
+    match inject with None -> () | Some i -> Faultinj.disarm i
+  in
+  f ~txn ~enter ~close_step ~finish_inject
+
+let apply ?(tolerance = Runpre.full_tolerance)
+    ?(max_attempts = default_max_attempts)
+    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
+    ?(retry_budget = default_retry_budget) ?deadline ?inject ?engage t
+    (update : Update.t) =
+  Trace.with_span "apply" ~fields:[ ("update", Trace.Str update.update_id) ]
+  @@ fun () ->
+  with_apply_txn ~span_prefix:"apply" ~inject t
+  @@ fun ~txn ~enter ~close_step ~finish_inject ->
+  try
+    let mk =
+      apply_pipeline ~txn ~enter ~tolerance ~max_attempts ~retry_base
+        ~retry_cap ~retry_budget ~deadline ~inject ~engage t update
     in
+    let journal = Txn.commit txn in
+    close_step ();
+    finish_inject ();
+    let a = mk ~journal ~displaced:[] ~displaced_shadows:[] in
     t.stack <- a :: t.stack;
     Log.info (fun k ->
         k "update %s applied (simulated pause %d ns; %d journal entries)"
-          update.update_id pause_ns (Txn.journal_entries journal));
+          update.update_id a.pause_ns (Txn.journal_entries journal));
     Ok a
   with
   | Fail e ->
@@ -596,29 +636,20 @@ let apply ?(tolerance = Runpre.full_tolerance)
     Log.warn (fun k -> k "apply %s failed: %a" update.update_id pp_error e);
     Error e
 
-let undo ?(max_attempts = default_max_attempts)
-    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
-    ?(retry_budget = default_retry_budget) ?deadline ?engage t update_id =
-  Trace.with_span "undo" ~fields:[ ("update", Trace.Str update_id) ]
-  @@ fun () ->
-  (* undo is transactional too: a faulted reverse hook or quiescence
-     failure leaves the update applied and the kernel untouched *)
-  let txn = Txn.begin_ t.m in
-  try
-    (match Machine.transition_update t.m with
-     | Some id ->
-       raise (Fail (Integrity ("a transition is already in flight for " ^ id)))
-     | None -> ());
-    (match t.stack with
-     | [] -> raise (Fail (Not_applied update_id))
-     | top :: rest ->
-       if not (String.equal top.update.Update.update_id update_id) then
-         if
-           List.exists
-             (fun a -> String.equal a.update.Update.update_id update_id)
-             rest
-         then raise (Fail (Not_topmost update_id))
-         else raise (Fail (Not_applied update_id));
+(* Unwind the topmost applied update inside [txn] (which the caller
+   owns): reverse hooks and shadow destructors run, quiescence is
+   checked on the replacement code, the apply journal replays (restoring
+   trampoline sites {e and} module bytes), and the update's kallsyms and
+   privilege ranges are removed. A cumulative entry additionally hands
+   back the stack it displaced — the journal replay just revived those
+   trampolines and modules byte-for-byte, so nothing is re-applied, only
+   bookkeeping returns. Raises [Fail]. *)
+let unwind_top ~txn ~max_attempts ~retry_base ~retry_cap ~retry_budget
+    ~deadline ~engage t =
+  match t.stack with
+  | [] -> raise (Fail (Not_applied "(empty stack)"))
+  | top :: rest ->
+       let update_id = top.update.Update.update_id in
        (* resolution for reverse hooks: the module is loaded, so its own
           symbols are in kallsyms *)
        let resolve name =
@@ -644,9 +675,14 @@ let undo ?(max_attempts = default_max_attempts)
            top.replacements
        in
        let install () =
-         (* replay the apply journal: trampolines out first, then
-            module bytes — the image returns to its pre-apply
+         (* shadow destructors first (reverse registration order), while
+            the replacement code and its side-table state are still
+            live; then replay the apply journal — trampolines out first,
+            then module bytes — so the image returns to its pre-apply
             contents byte for byte *)
+         Txn.with_tag txn Txn.Hook (fun () ->
+             run_named_hooks t ~resolve
+               (List.rev top.update.Update.shadow_dtors));
          Txn.replay top.journal t.m;
          Txn.with_tag txn Txn.Hook (fun () ->
              run_hooks t ~resolve top.update Ast.Hook_reverse)
@@ -728,7 +764,51 @@ let undo ?(max_attempts = default_max_attempts)
                a.addr = s.addr && String.equal a.name s.name)
              top.added_symbols);
        List.iter (Machine.remove_privileged_range t.m) top.priv_ranges;
-       t.stack <- rest);
+       (* a cumulative entry returns the stack it displaced: the journal
+          replay restored their trampolines and modules, so their
+          kallsyms and privilege ranges need republishing, and their
+          shadow bindings — detached by the displaced updates' own
+          destructors during the collapse — re-attached. The shadow
+          memory itself was never replayed away (module memory is leaked
+          on undo), so the revived bindings still hold the collapse-time
+          values; runtime value changes made while the cumulative
+          reigned are its constructors' business, not ours. *)
+       List.iter
+         (fun d ->
+           Machine.add_kallsyms t.m d.added_symbols;
+           List.iter (Machine.add_privileged_range t.m) d.priv_ranges)
+         (List.rev top.displaced);
+       List.iter
+         (fun ((obj, key), addr) ->
+           Machine.shadow_reattach t.m ~obj ~key ~addr)
+         top.displaced_shadows;
+       t.stack <- top.displaced @ rest
+
+let undo ?(max_attempts = default_max_attempts)
+    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
+    ?(retry_budget = default_retry_budget) ?deadline ?engage t update_id =
+  Trace.with_span "undo" ~fields:[ ("update", Trace.Str update_id) ]
+  @@ fun () ->
+  (* undo is transactional too: a faulted reverse hook or quiescence
+     failure leaves the update applied and the kernel untouched *)
+  let txn = Txn.begin_ t.m in
+  try
+    (match Machine.transition_update t.m with
+     | Some id ->
+       raise (Fail (Integrity ("a transition is already in flight for " ^ id)))
+     | None -> ());
+    (match t.stack with
+     | [] -> raise (Fail (Not_applied update_id))
+     | top :: rest ->
+       if not (String.equal top.update.Update.update_id update_id) then
+         if
+           List.exists
+             (fun a -> String.equal a.update.Update.update_id update_id)
+             rest
+         then raise (Fail (Not_topmost update_id))
+         else raise (Fail (Not_applied update_id)));
+    unwind_top ~txn ~max_attempts ~retry_base ~retry_cap ~retry_budget
+      ~deadline ~engage t;
     Txn.discard txn;
     Ok ()
   with
@@ -738,6 +818,141 @@ let undo ?(max_attempts = default_max_attempts)
   | Machine.Out_of_memory msg ->
     Txn.rollback txn;
     Error (Out_of_memory msg)
+
+(* --- atomic replace (§5 cumulative updates) ---
+
+   One transaction: the whole applied stack unwinds (newest first, each
+   entry's journal replayed so its trampolines and module bytes vanish
+   byte-for-byte) and the cumulative replacement set installs against
+   the then-pristine kernel. A fault at {e any} step — a reverse hook, a
+   quiescence failure mid-unwind, a run-pre mismatch or injected fault
+   during the install — rolls the single journal back, leaving the
+   stacked configuration byte-identical to before the collapse. The
+   committed result is exactly what undoing every update and applying
+   the cumulative one-by-one would have produced (the sweep asserts
+   footprint equality against that twin), but with no intermediate state
+   ever observable. *)
+let apply_cumulative ?(tolerance = Runpre.full_tolerance)
+    ?(max_attempts = default_max_attempts)
+    ?(retry_base = default_retry_base) ?(retry_cap = default_retry_cap)
+    ?(retry_budget = default_retry_budget) ?deadline ?inject ?engage t
+    (update : Update.t) =
+  Trace.with_span "apply_cumulative"
+    ~fields:[ ("update", Trace.Str update.update_id) ]
+  @@ fun () ->
+  with_apply_txn ~span_prefix:"apply_cumulative" ~inject t
+  @@ fun ~txn ~enter ~close_step ~finish_inject ->
+  let saved_stack = t.stack in
+  try
+    if not (Update.is_cumulative update) then
+      raise
+        (Fail
+           (Integrity
+              (update.update_id
+              ^ " is not cumulative (supersedes nothing); use apply")));
+    (match Machine.transition_update t.m with
+     | Some id ->
+       raise (Fail (Integrity ("a transition is already in flight for " ^ id)))
+     | None -> ());
+    let in_supersedes a =
+      List.mem a.update.Update.update_id update.supersedes
+    in
+    (* the superseded updates must form the contiguous top of the stack
+       (they are what this cumulative replaces; anything deeper is part
+       of the base it was built against and stays untouched). A fresh
+       machine with an empty stack qualifies trivially — the cumulative
+       update then simply installs. *)
+    let rec split_top acc = function
+      | a :: rest when in_supersedes a -> split_top (a :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let to_unwind, remaining = split_top [] t.stack in
+    if List.exists in_supersedes remaining then
+      raise
+        (Fail
+           (Integrity
+              (Printf.sprintf
+                 "cumulative %s supersedes updates buried beneath ones it \
+                  does not supersede (stack: [%s])"
+                 update.update_id
+                 (String.concat "; "
+                    (List.rev_map
+                       (fun a -> a.update.Update.update_id)
+                       t.stack)))));
+    (* the superseded segment must appear in chain order *)
+    let rec subseq xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | _ :: _, [] -> false
+      | x :: xs', y :: ys' ->
+        if String.equal x y then subseq xs' ys' else subseq xs ys'
+    in
+    if
+      not
+        (subseq
+           (List.rev_map (fun a -> a.update.Update.update_id) to_unwind)
+           update.supersedes)
+    then
+      raise
+        (Fail
+           (Integrity
+              (Printf.sprintf
+                 "cumulative %s supersedes [%s] but the applied stack \
+                  holds them in a different order"
+                 update.update_id
+                 (String.concat "; " update.supersedes))));
+    Log.info (fun k ->
+        k "atomic replace: %s superseding %d stacked update(s)"
+          update.update_id (List.length to_unwind));
+    (* the shadow table as the collapse finds it: the unwind below runs
+       the displaced updates' destructors, and undoing this cumulative
+       must revive the bindings they detach *)
+    let pre_shadows = Machine.shadow_bindings t.m in
+    (* unwind the superseded segment, newest first; a displaced
+       cumulative hands its own displaced stack back mid-loop, which —
+       being superseded too (publishers flatten) — this loop then
+       unwinds as well *)
+    while
+      match t.stack with a :: _ -> in_supersedes a | [] -> false
+    do
+      unwind_top ~txn ~max_attempts ~retry_base ~retry_cap ~retry_budget
+        ~deadline ~engage t
+    done;
+    let mk =
+      apply_pipeline ~txn ~enter ~tolerance ~max_attempts ~retry_base
+        ~retry_cap ~retry_budget ~deadline ~inject ~engage t update
+    in
+    let journal = Txn.commit txn in
+    close_step ();
+    finish_inject ();
+    (* [displaced] is the pre-collapse top segment as it stood: undoing
+       the cumulative update replays this whole journal, which revives
+       exactly that state *)
+    let a = mk ~journal ~displaced:to_unwind ~displaced_shadows:pre_shadows in
+    t.stack <- a :: remaining;
+    Trace.count "apply.cumulative" 1;
+    Log.info (fun k ->
+        k "cumulative %s applied atomically (%d journal entries)"
+          update.update_id (Txn.journal_entries journal));
+    Ok a
+  with
+  | Fail e ->
+    close_step ();
+    Txn.rollback txn;
+    finish_inject ();
+    t.stack <- saved_stack;
+    Log.warn (fun k ->
+        k "atomic replace %s failed: %a" update.update_id pp_error e);
+    Error e
+  | Machine.Out_of_memory msg ->
+    close_step ();
+    Txn.rollback txn;
+    finish_inject ();
+    t.stack <- saved_stack;
+    let e = Out_of_memory msg in
+    Log.warn (fun k ->
+        k "atomic replace %s failed: %a" update.update_id pp_error e);
+    Error e
 
 (* [verify] audits the applied stack: the topmost replacement of every
    function owns the jump at the code location it patched, and module

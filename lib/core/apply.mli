@@ -53,6 +53,17 @@ type applied = {
   journal : Txn.journal;
       (** machinery writes retained for [ksplice-undo] *)
   pause_ns : int;  (** simulated stop_machine pause *)
+  displaced : applied list;
+      (** the stack entries a cumulative apply atomically replaced, most
+          recent first; [[]] for an ordinary update. Undoing a cumulative
+          update replays its journal — reviving the displaced trampolines
+          and modules byte-for-byte — and restores this stack. *)
+  displaced_shadows : ((int * int) * int) list;
+      (** the shadow-variable bindings as the collapse found them ([[]]
+          for an ordinary update). The unwind detaches these through the
+          displaced updates' destructors, so undoing the cumulative
+          update re-attaches them; the shadow memory still holds the
+          collapse-time values. *)
 }
 
 (** Quiescence diagnostics: which functions stayed busy, how hard we
@@ -181,6 +192,36 @@ val applied : t -> applied list
     undoing) while another update's transition is in flight fails with
     [Integrity]. *)
 val apply :
+  ?tolerance:Runpre.tolerance ->
+  ?max_attempts:int ->
+  ?retry_base:int ->
+  ?retry_cap:int ->
+  ?retry_budget:int ->
+  ?deadline:int ->
+  ?inject:Faultinj.session ->
+  ?engage:engage_fn ->
+  t -> Update.t ->
+  (applied, error) result
+
+(** [apply_cumulative t update] is {e atomic replace} (§5): [update]
+    must be cumulative, and the stacked updates it supersedes must form
+    the contiguous top of the applied stack, in chain order (a machine
+    that stacked the whole chain collapses it; one partway up collapses
+    what it has; a fresh machine with nothing applied takes the
+    cumulative update directly; anything deeper than the superseded
+    segment is part of the base the update was built against and stays
+    untouched). In one transaction, the superseded segment unwinds
+    (newest first — reverse hooks and shadow destructors run, each apply
+    journal replays) and [update] then installs in its place. A fault at
+    any step rolls the single journal back: the stacked configuration
+    survives byte-identically, with [Integrity] errors for a
+    supersedes/stack mismatch. The committed machine state is exactly
+    what [undo]×k followed by [apply update] would have produced, with
+    no intermediate state ever observable. Shadow constructors of
+    [update] run as the replacement code goes live; on a later [undo] of
+    the cumulative update, its destructors run and the displaced segment
+    is restored without re-applying anything. *)
+val apply_cumulative :
   ?tolerance:Runpre.tolerance ->
   ?max_attempts:int ->
   ?retry_base:int ->

@@ -169,7 +169,22 @@ let binding_table (o : Objfile.t) =
     o.symbols;
   tbl
 
-let create ?(build_options = Minic.Driver.pre_build) ?domains ?store req =
+(* canonical hook-function names planted in the primary's
+   [.ksplice.<kind>@unit] Note sections, in section order: how the
+   update records its shadow-variable constructors and destructors as
+   plain data (the object-level view of the [ksplice_shadow_ctor]/
+   [ksplice_shadow_dtor] registrations) *)
+let hook_fn_names sections kind =
+  let prefix = Minic.Ast.hook_section kind in
+  List.concat_map
+    (fun (s : Section.t) ->
+      if s.kind = Section.Note && String.starts_with ~prefix s.name then
+        List.map (fun (r : Reloc.t) -> r.sym) s.relocs
+      else [])
+    sections
+
+let create ?(build_options = Minic.Driver.pre_build) ?domains ?store
+    ?(supersedes = []) req =
   let store = match store with Some s -> s | None -> Store.default () in
   Trace.with_span "create"
     ~fields:[ ("update", Trace.Str req.update_id) ]
@@ -319,6 +334,11 @@ let create ?(build_options = Minic.Driver.pre_build) ?domains ?store req =
               primary;
               helpers;
               primary_sym_units = List.rev !sym_units;
+              supersedes;
+              shadow_ctors =
+                hook_fn_names primary.sections Minic.Ast.Hook_shadow_ctor;
+              shadow_dtors =
+                hook_fn_names primary.sections Minic.Ast.Hook_shadow_dtor;
             }
           in
           Ok { update; diffs }

@@ -41,11 +41,19 @@ type created = {
     a unit whose pre and post objects are byte-identical skips
     differencing entirely, and a (pre, post) digest pair already
     differenced in this store reuses the cached result. Incremental and
-    from-scratch creation produce byte-identical updates. *)
+    from-scratch creation produce byte-identical updates.
+
+    [supersedes] (default [[]]) makes the result a {e cumulative} update:
+    the listed update ids, oldest first, are atomically replaced when it
+    is applied. Shadow-variable hooks ([ksplice_shadow_ctor] /
+    [ksplice_shadow_dtor] registrations in the patch) are collected from
+    the primary's Note sections into [update.shadow_ctors] /
+    [update.shadow_dtors] automatically. *)
 val create :
   ?build_options:Minic.Driver.options ->
   ?domains:int ->
   ?store:Store.t ->
+  ?supersedes:string list ->
   request ->
   (created, error) result
 

@@ -80,6 +80,11 @@ let recovery t = Store.recovery t.store
 let entry_magic = "KSPLREPO2"
 let entry_ref digest = "entry:" ^ digest
 
+(* a cumulative entry lives beside the per-update chain under its own
+   ref: subscribers that prefer it take one hop to the chain head, while
+   the per-update refs stay intact for mid-chain machines *)
+let cumulative_ref digest = "cumulative:" ^ digest
+
 let encode_entry store (e : entry) =
   let b = Buffer.create 4096 in
   let put_str s =
@@ -128,11 +133,11 @@ let decode_entry store ~digest raw =
   | Error reason -> fail reason
   | Ok (base_digest, next_digest, patch_text, update_bytes) -> (
     match Update.of_bytes_store store (Bytes.of_string update_bytes) with
-    | Error m -> fail m
+    | Error e -> fail (Update.decode_error_to_string e)
     | Ok update -> Ok { base_digest; next_digest; patch_text; update })
 
-let read_entry t digest =
-  match Store.find_ref t.store (entry_ref digest) with
+let read_ref_entry t ~ref_name ~digest =
+  match Store.find_ref t.store ref_name with
   | None -> Ok None
   | Some blob_digest -> (
     match Store.load t.store blob_digest with
@@ -143,6 +148,25 @@ let read_entry t digest =
     | Error (`Corrupt reason) -> Error (Corrupt_entry { digest; reason })
     | Ok raw ->
       decode_entry t.store ~digest raw |> Result.map Option.some)
+
+let read_entry t digest = read_ref_entry t ~ref_name:(entry_ref digest) ~digest
+
+let read_cumulative t digest =
+  read_ref_entry t ~ref_name:(cumulative_ref digest) ~digest
+
+(* all blob puts (entry + interned objects) happen inside the
+   transaction, pinning them against a racing GC; the ref flip goes
+   through the write-ahead journal, so a crash anywhere leaves the
+   publish atomically present or atomically absent *)
+let commit_entry t ~ref_name e =
+  match
+    Store.with_txn t.store (fun () ->
+        let d = Store.put t.store (encode_entry t.store e) in
+        Store.commit_refs t.store [ (ref_name, d) ])
+  with
+  | () -> Ok e
+  | exception Vfs.Io_error { op; path; reason } ->
+    Error (Io_failure { path; reason = op ^ ": " ^ reason })
 
 let publish t ~source ~patch ~update =
   let base_digest = Tree.digest source in
@@ -156,18 +180,7 @@ let publish t ~source ~patch ~update =
         { base_digest; next_digest = Tree.digest next_tree;
           patch_text = Diff.to_string patch; update }
       in
-      (* all blob puts (entry + interned objects) happen inside the
-         transaction, pinning them against a racing GC; the ref flip
-         goes through the write-ahead journal, so a crash anywhere
-         leaves the publish atomically present or atomically absent *)
-      match
-        Store.with_txn t.store (fun () ->
-            let d = Store.put t.store (encode_entry t.store e) in
-            Store.commit_refs t.store [ (entry_ref base_digest, d) ])
-      with
-      | () -> Ok e
-      | exception Vfs.Io_error { op; path; reason } ->
-        Error (Io_failure { path; reason = op ^ ": " ^ reason })
+      commit_entry t ~ref_name:(entry_ref base_digest) e
 
 let pending t ~digest =
   let rec walk digest acc seen =
@@ -180,38 +193,119 @@ let pending t ~digest =
   in
   walk digest [] []
 
+(* replay a chain's patches over [source], yielding the head tree *)
+let advance_source source chain =
+  let rec go source = function
+    | [] -> Ok source
+    | e :: rest -> (
+      match Diff.parse e.patch_text with
+      | Error m ->
+        Error
+          (Corrupt_entry
+             { digest = e.base_digest;
+               reason = "corrupt patch in repository: " ^ m })
+      | Ok patch -> (
+        match Diff.apply patch source with
+        | Error m ->
+          Error
+            (Source_patch_failed
+               { update_id = e.update.Update.update_id; reason = m })
+        | Ok source' -> go source' rest))
+  in
+  go source chain
+
+let publish_cumulative t ~source ~update_id ~description =
+  let base_digest = Tree.digest source in
+  if Store.find_ref t.store (cumulative_ref base_digest) <> None then
+    Error (Already_published base_digest)
+  else
+    match pending t ~digest:base_digest with
+    | Error err -> Error err
+    | Ok [] ->
+      Error (Patch_rejected "no pending chain to collapse at this source")
+    | Ok chain -> (
+      match advance_source source chain with
+      | Error err -> Error err
+      | Ok head_tree -> (
+        (* one composed patch spanning the whole chain, and a flattened
+           supersedes list: a chain entry that is itself cumulative
+           contributes the ids it replaced before its own, so the
+           atomic-replace unwind loop can follow revived stacks *)
+        let patch = Diff.diff_trees source head_tree in
+        let supersedes =
+          List.concat_map
+            (fun e ->
+              e.update.Update.supersedes @ [ e.update.Update.update_id ])
+            chain
+        in
+        match
+          Create.create ~store:t.store ~supersedes
+            { Create.source; patch; update_id; description }
+        with
+        | Error ce ->
+          Error
+            (Patch_rejected
+               (Format.asprintf "cumulative build failed: %a" Create.pp_error
+                  ce))
+        | Ok c ->
+          let e =
+            { base_digest; next_digest = Tree.digest head_tree;
+              patch_text = Diff.to_string patch; update = c.Create.update }
+          in
+          commit_entry t ~ref_name:(cumulative_ref base_digest) e))
+
 type sync_report = {
   applied : string list;
   new_source : Tree.t;
 }
 
+(* the hop sequence from [digest], preferring a published cumulative
+   entry (one hop spanning the chain) over the per-update walk *)
+let route t ~digest =
+  let rec walk digest acc seen =
+    if List.mem digest seen then Error (Chain_cycle digest)
+    else
+      match read_cumulative t digest with
+      | Error err -> Error err
+      | Ok (Some e) ->
+        walk e.next_digest ((`Cumulative, e) :: acc) (digest :: seen)
+      | Ok None -> (
+        match read_entry t digest with
+        | Error err -> Error err
+        | Ok None -> Ok (List.rev acc)
+        | Ok (Some e) ->
+          walk e.next_digest ((`Entry, e) :: acc) (digest :: seen))
+  in
+  walk digest [] []
+
 let sync t mgr ~source =
-  (* the whole chain is fetched and digest-verified before any update is
-     applied: a corrupt entry anywhere leaves the machine untouched *)
-  match pending t ~digest:(Tree.digest source) with
+  (* the whole route is fetched and digest-verified before any update is
+     applied: a corrupt entry anywhere leaves the machine untouched. A
+     cumulative hop atomically replaces whatever stacked segment it
+     supersedes (nothing, on a freshly synced machine). *)
+  match route t ~digest:(Tree.digest source) with
   | Error err -> Error err
-  | Ok chain ->
+  | Ok hops ->
     let rec go source applied = function
       | [] -> Ok { applied = List.rev applied; new_source = source }
-      | e :: rest -> (
+      | (kind, e) :: rest -> (
         let update_id = e.update.Update.update_id in
-        match Apply.apply mgr e.update with
+        let applied_res =
+          match kind with
+          | `Cumulative -> Apply.apply_cumulative mgr e.update
+          | `Entry -> Apply.apply mgr e.update
+        in
+        match applied_res with
         | Error ae ->
           Error
             (Update_apply_failed
                { update_id; reason = Format.asprintf "%a" Apply.pp_error ae })
         | Ok _ -> (
-          match Diff.parse e.patch_text with
-          | Error m ->
-            Error
-              (Source_patch_failed
-                 { update_id; reason = "corrupt patch in repository: " ^ m })
-          | Ok patch -> (
-            match Diff.apply patch source with
-            | Error m -> Error (Source_patch_failed { update_id; reason = m })
-            | Ok source' -> go source' (update_id :: applied) rest)))
+          match advance_source source [ e ] with
+          | Error err -> Error err
+          | Ok source' -> go source' (update_id :: applied) rest))
     in
-    go source [] chain
+    go source [] hops
 
 (* --- integrity: fsck and garbage collection --- *)
 
@@ -224,24 +318,27 @@ type fsck_report = {
 let fsck t =
   let store_res = Store.fsck t.store in
   let store_report = match store_res with Ok r | Error r -> r in
-  let prefix = "entry:" in
-  let plen = String.length prefix in
   let entries = ref 0 in
   let corrupt = ref [] in
+  let check prefix read rname =
+    let plen = String.length prefix in
+    if
+      String.length rname > plen
+      && String.equal (String.sub rname 0 plen) prefix
+    then begin
+      incr entries;
+      let digest = String.sub rname plen (String.length rname - plen) in
+      match read t digest with
+      | Ok (Some _) -> ()
+      | Ok None -> corrupt := (digest, "ref resolves to no entry") :: !corrupt
+      | Error e ->
+        corrupt := (digest, Format.asprintf "%a" pp_error e) :: !corrupt
+    end
+  in
   List.iter
     (fun (rname, _) ->
-      if
-        String.length rname > plen
-        && String.equal (String.sub rname 0 plen) prefix
-      then begin
-        incr entries;
-        let digest = String.sub rname plen (String.length rname - plen) in
-        match read_entry t digest with
-        | Ok (Some _) -> ()
-        | Ok None -> corrupt := (digest, "ref resolves to no entry") :: !corrupt
-        | Error e ->
-          corrupt := (digest, Format.asprintf "%a" pp_error e) :: !corrupt
-      end)
+      check "entry:" read_entry rname;
+      check "cumulative:" read_cumulative rname)
     (Store.refs t.store);
   let report =
     {
@@ -281,6 +378,17 @@ let gc t =
 
 let closure raw = expand_blob "" raw
 
+(* the ref a received entry blob belongs under, derived from the bytes
+   themselves (never from server metadata): an entry whose serialised
+   update supersedes something is cumulative *)
+let blob_ref raw =
+  match parse_entry_fields raw with
+  | Error _ -> None
+  | Ok (base, _next, _patch, update_bytes) ->
+    if Update.supersedes_of_bytes (Bytes.of_string update_bytes) <> [] then
+      Some (cumulative_ref base)
+    else Some (entry_ref base)
+
 type manifest_entry = {
   me_base : string;
   me_next : string;
@@ -303,7 +411,15 @@ let manifest t ~digest =
   let rec walk digest acc seen =
     if List.mem digest seen then Error (Chain_cycle digest)
     else
-      match Store.find_ref t.store (entry_ref digest) with
+      (* a published cumulative entry takes precedence: the manifest
+         then advertises one hop (one entry blob + its objects) instead
+         of the whole per-update chain — the fleet's delta sync *)
+      let hop_blob =
+        match Store.find_ref t.store (cumulative_ref digest) with
+        | Some d -> Some d
+        | None -> Store.find_ref t.store (entry_ref digest)
+      in
+      match hop_blob with
       | None -> Ok (List.rev acc)
       | Some blob_digest -> (
         match load_sized ~owner:digest blob_digest with

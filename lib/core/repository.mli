@@ -32,6 +32,12 @@ val of_store : Store.t -> t
     must reproduce. *)
 val entry_ref : string -> string
 
+(** The ref under which a {e cumulative} entry for a source digest is
+    published (["cumulative:<digest>"]). A cumulative entry sits beside
+    the per-update chain: one hop from its base straight to the chain
+    head, carrying an atomic-replace update. *)
+val cumulative_ref : string -> string
+
 (** An update published against a particular source state. *)
 type entry = {
   base_digest : string;  (** digest of the source this applies to *)
@@ -80,10 +86,28 @@ val publish :
   t -> source:Patchfmt.Source_tree.t -> patch:Patchfmt.Diff.t ->
   update:Update.t -> (entry, error) result
 
+(** [publish_cumulative repo ~source ~update_id ~description] collapses
+    the pending chain starting at [source] into one cumulative entry:
+    the chain's patches compose into a single patch from [source] to the
+    chain head, a fresh update is built from it ({!Create.create}) whose
+    [supersedes] lists every chain update id oldest first (flattened
+    through any cumulative chain entries), and the entry is published
+    under {!cumulative_ref} — the per-update chain stays intact for
+    mid-chain subscribers. Fails with [Patch_rejected] when there is
+    nothing pending to collapse, [Already_published] when a cumulative
+    entry for [source] already exists. *)
+val publish_cumulative :
+  t -> source:Patchfmt.Source_tree.t -> update_id:string ->
+  description:string -> (entry, error) result
+
 (** [pending repo ~digest] is the chain of entries starting at [digest],
     oldest first (empty when up to date). Every entry on the chain is
     digest-verified as it is read. *)
 val pending : t -> digest:string -> (entry list, error) result
+
+(** The cumulative entry published for source state [digest], if any
+    (digest-verified like {!pending} entries). *)
+val read_cumulative : t -> string -> (entry option, error) result
 
 (** Outcome of one subscriber synchronisation. *)
 type sync_report = {
@@ -93,10 +117,12 @@ type sync_report = {
 
 (** [sync repo mgr ~source] fetches and applies every update pending for
     the subscriber whose running kernel was built from [source]
-    (possibly already patched), keeping the local source in step. The
-    whole chain is fetched and verified {e before} any update is applied,
-    so a corrupt entry leaves the machine untouched; application errors
-    stop at the first failure. *)
+    (possibly already patched), keeping the local source in step. When a
+    cumulative entry is published at the subscriber's digest it is
+    preferred — one {!Apply.apply_cumulative} hop instead of the
+    per-update walk. The whole route is fetched and verified {e before}
+    any update is applied, so a corrupt entry leaves the machine
+    untouched; application errors stop at the first failure. *)
 val sync :
   t -> Apply.t -> source:Patchfmt.Source_tree.t ->
   (sync_report, error) result
@@ -148,6 +174,13 @@ val head : t -> digest:string -> (string, error) result
     leaf. Pure — a subscriber re-derives an entry's object set from the
     received bytes instead of trusting the server's manifest. *)
 val closure : string -> Store.digest list
+
+(** [blob_ref raw] is the ref name a received KSPLREPO2 entry blob
+    belongs under — {!cumulative_ref} of its base when the serialised
+    update inside supersedes something, {!entry_ref} otherwise; [None]
+    if [raw] is not a parseable entry. Derived from the bytes alone, so
+    a subscriber never trusts server metadata for ref placement. *)
+val blob_ref : string -> string option
 
 (** Mark-and-sweep garbage collection. Roots are every ref (chain
     entries and any named refs); reachability closes over each entry's

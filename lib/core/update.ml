@@ -8,7 +8,12 @@ type t = {
   primary : Objfile.t;
   helpers : Objfile.t list;
   primary_sym_units : (string * string) list;
+  supersedes : string list;
+  shadow_ctors : string list;
+  shadow_dtors : string list;
 }
+
+let is_cumulative u = u.supersedes <> []
 
 let canonical ~binding ~unit_name name =
   match binding with
@@ -54,18 +59,37 @@ let to_bytes u =
   put_obj b u.primary;
   put_list b put_obj u.helpers;
   put_list b put_pair u.primary_sym_units;
+  put_list b put_str u.supersedes;
+  put_list b put_str u.shadow_ctors;
+  put_list b put_str u.shadow_dtors;
   Buffer.to_bytes b
+
+(* Decoding is total: a corrupt blob — out of the CAS, off the wire, or
+   handed to the CLI — yields a typed [Error], never an escaped
+   exception. The reader raises the private [Decode] exception
+   internally; the [of_bytes*] entry points are the only boundaries that
+   catch it. *)
+type decode_error = { de_off : int; de_reason : string }
+
+exception Decode of decode_error
+
+let pp_decode_error ppf e =
+  Format.fprintf ppf "%s at byte %d" e.de_reason e.de_off
+
+let decode_error_to_string e = Format.asprintf "%a" pp_decode_error e
 
 type reader = { buf : Bytes.t; mutable pos : int }
 
+let bad r reason = raise (Decode { de_off = r.pos; de_reason = reason })
+
 let need r n =
-  if r.pos + n > Bytes.length r.buf then failwith "Update: truncated input"
+  if n < 0 || r.pos + n > Bytes.length r.buf then bad r "truncated input"
 
 let get_int r =
   need r 4;
   let v = Int32.to_int (Bytes.get_int32_le r.buf r.pos) in
   r.pos <- r.pos + 4;
-  if v < 0 then failwith "Update: negative length";
+  if v < 0 then bad r "negative length";
   v
 
 let get_str r =
@@ -78,9 +102,14 @@ let get_str r =
 let get_obj r =
   let n = get_int r in
   need r n;
-  let o = Objfile.of_bytes (Bytes.sub r.buf r.pos n) in
-  r.pos <- r.pos + n;
-  o
+  match Objfile.of_bytes (Bytes.sub r.buf r.pos n) with
+  | Error e ->
+    bad r
+      (Printf.sprintf "bad embedded object: %s"
+         (Objfile.decode_error_to_string e))
+  | Ok o ->
+    r.pos <- r.pos + n;
+    o
 
 let get_list r f = List.init (get_int r) (fun _ -> f r)
 
@@ -89,17 +118,7 @@ let get_pair r =
   let b = get_str r in
   (a, b)
 
-let of_bytes buf =
-  let r = { buf; pos = 0 } in
-  need r (String.length magic);
-  (match Bytes.sub_string buf 0 (String.length magic) with
-  | m when String.equal m magic -> ()
-  | "KSPL2" ->
-    failwith
-      "Update: store-backed KSPL2 file; decode it with of_bytes_store \
-       against the artifact store it was written through"
-  | _ -> failwith "Update: bad magic");
-  r.pos <- String.length magic;
+let decode_self r =
   let update_id = get_str r in
   let description = get_str r in
   let patched_units = get_list r get_str in
@@ -107,25 +126,57 @@ let of_bytes buf =
   let primary = get_obj r in
   let helpers = get_list r get_obj in
   let primary_sym_units = get_list r get_pair in
+  let supersedes = get_list r get_str in
+  let shadow_ctors = get_list r get_str in
+  let shadow_dtors = get_list r get_str in
   { update_id; description; patched_units; replaced_functions; primary;
-    helpers; primary_sym_units }
+    helpers; primary_sym_units; supersedes; shadow_ctors; shadow_dtors }
 
-(* --- store-backed serialisation (KSPL2) ---
+let of_bytes buf =
+  match
+    let r = { buf; pos = 0 } in
+    need r (String.length magic);
+    (match Bytes.sub_string buf 0 (String.length magic) with
+    | m when String.equal m magic -> ()
+    | "KSPL2" | "KSPL3" ->
+      bad r
+        "store-backed update file; decode it with of_bytes_store against \
+         the artifact store it was written through"
+    | _ -> bad r "bad magic");
+    r.pos <- String.length magic;
+    decode_self r
+  with
+  | u -> Ok u
+  | exception Decode e -> Error e
+
+let of_bytes_exn buf =
+  match of_bytes buf with
+  | Ok u -> u
+  | Error e -> failwith ("Update: " ^ decode_error_to_string e)
+
+(* --- store-backed serialisation (KSPL2 / KSPL3) ---
 
    Object payloads (the primary and every helper) are interned in the
    artifact store and the file carries only their digests, so stacked
    updates sharing a base kernel share one physical copy of each common
-   helper. The KSPL1 reader above stays authoritative for self-contained
-   files; [of_bytes_store] accepts both formats. *)
+   helper. KSPL3 extends KSPL2 with the cumulative records — the update
+   ids this blob supersedes (atomic replace) and the shadow-variable
+   constructor/destructor hooks; the writer emits KSPL3 only when one of
+   those is present, so ordinary updates stay byte-identical to their
+   KSPL2 encoding and every old blob remains readable. *)
 
 let store_magic = "KSPL2"
+let cumulative_magic = "KSPL3"
 
 let intern_obj store o =
   Store.put store (Bytes.to_string (Objfile.to_bytes o))
 
 let to_bytes_store store u =
+  let cumulative =
+    u.supersedes <> [] || u.shadow_ctors <> [] || u.shadow_dtors <> []
+  in
   let b = Buffer.create 1024 in
-  Buffer.add_string b store_magic;
+  Buffer.add_string b (if cumulative then cumulative_magic else store_magic);
   put_str b u.update_id;
   put_str b u.description;
   put_list b put_str u.patched_units;
@@ -133,51 +184,77 @@ let to_bytes_store store u =
   put_str b (intern_obj store u.primary);
   put_list b put_str (List.map (intern_obj store) u.helpers);
   put_list b put_pair u.primary_sym_units;
+  if cumulative then begin
+    put_list b put_str u.supersedes;
+    put_list b put_str u.shadow_ctors;
+    put_list b put_str u.shadow_dtors
+  end;
   Buffer.to_bytes b
 
-let of_bytes_store store buf =
+(* Which store-backed format a blob claims, by magic alone. *)
+let store_format buf =
   let mlen = String.length store_magic in
-  if Bytes.length buf >= mlen && Bytes.sub_string buf 0 mlen = magic then
-    (* self-contained legacy file: no store needed *)
-    match of_bytes buf with
-    | u -> Ok u
-    | exception Failure m -> Error m
-  else if Bytes.length buf < mlen || Bytes.sub_string buf 0 mlen <> store_magic
-  then Error "Update: bad magic"
+  if Bytes.length buf < mlen then `Unknown
   else
-    let fetch_obj d =
+    match Bytes.sub_string buf 0 mlen with
+    | m when String.equal m magic -> `Self
+    | m when String.equal m store_magic -> `Store
+    | m when String.equal m cumulative_magic -> `Cumulative
+    | _ -> `Unknown
+
+let of_bytes_store store buf =
+  match store_format buf with
+  | `Self ->
+    (* self-contained legacy file: no store needed *)
+    of_bytes buf
+  | `Unknown -> Error { de_off = 0; de_reason = "bad magic" }
+  | (`Store | `Cumulative) as fmt -> (
+    let fetch_obj r d =
       match Store.load store d with
-      | Ok raw -> Objfile.of_bytes (Bytes.of_string raw)
-      | Error `Missing ->
-        failwith ("Update: object " ^ d ^ " is not in the artifact store")
-      | Error (`Corrupt m) -> failwith ("Update: corrupt object: " ^ m)
+      | Ok raw -> (
+        match Objfile.of_bytes (Bytes.of_string raw) with
+        | Ok o -> o
+        | Error e ->
+          bad r
+            (Printf.sprintf "object %s does not parse: %s" d
+               (Objfile.decode_error_to_string e)))
+      | Error `Missing -> bad r ("object " ^ d ^ " is not in the artifact store")
+      | Error (`Corrupt m) -> bad r ("corrupt object: " ^ m)
     in
     match
-      let r = { buf; pos = mlen } in
+      let r = { buf; pos = String.length store_magic } in
       let update_id = get_str r in
       let description = get_str r in
       let patched_units = get_list r get_str in
       let replaced_functions = get_list r get_pair in
-      let primary = fetch_obj (get_str r) in
-      let helpers = get_list r get_str |> List.map fetch_obj in
+      let primary = fetch_obj r (get_str r) in
+      let helpers = get_list r get_str |> List.map (fetch_obj r) in
       let primary_sym_units = get_list r get_pair in
+      let supersedes, shadow_ctors, shadow_dtors =
+        match fmt with
+        | `Store -> ([], [], [])
+        | `Cumulative ->
+          let s = get_list r get_str in
+          let c = get_list r get_str in
+          let d = get_list r get_str in
+          (s, c, d)
+      in
       { update_id; description; patched_units; replaced_functions; primary;
-        helpers; primary_sym_units }
+        helpers; primary_sym_units; supersedes; shadow_ctors; shadow_dtors }
     with
     | u -> Ok u
-    | exception Failure m -> Error m
+    | exception Decode e -> Error e)
 
 (* The store digests a serialised update references, without fetching
    (or needing) the objects themselves — the GC's reachability edge. A
    self-contained KSPL1 file references nothing. *)
 let store_digests buf =
-  let mlen = String.length store_magic in
-  if Bytes.length buf >= mlen && Bytes.sub_string buf 0 mlen = magic then Ok []
-  else if Bytes.length buf < mlen || Bytes.sub_string buf 0 mlen <> store_magic
-  then Error "Update: bad magic"
-  else
+  match store_format buf with
+  | `Self -> Ok []
+  | `Unknown -> Error "Update: bad magic"
+  | `Store | `Cumulative -> (
     match
-      let r = { buf; pos = mlen } in
+      let r = { buf; pos = String.length store_magic } in
       let _update_id = get_str r in
       let _description = get_str r in
       let _patched_units = get_list r get_str in
@@ -187,7 +264,29 @@ let store_digests buf =
       primary :: helpers
     with
     | ds -> Ok ds
-    | exception Failure m -> Error m
+    | exception Decode e -> Error ("Update: " ^ decode_error_to_string e))
+
+(* The ids a serialised update supersedes, parsed from the blob alone
+   (no store): how a subscriber recognises a cumulative entry in the
+   bytes it received, rather than trusting the server's framing. An
+   unparseable or non-cumulative blob supersedes nothing. *)
+let supersedes_of_bytes buf =
+  match store_format buf with
+  | `Self | `Store | `Unknown -> []
+  | `Cumulative -> (
+    match
+      let r = { buf; pos = String.length store_magic } in
+      let _update_id = get_str r in
+      let _description = get_str r in
+      let _patched_units = get_list r get_str in
+      let _replaced_functions = get_list r get_pair in
+      let _primary = get_str r in
+      let _helpers = get_list r get_str in
+      let _primary_sym_units = get_list r get_pair in
+      get_list r get_str
+    with
+    | ds -> ds
+    | exception Decode _ -> [])
 
 let write_file path u =
   let oc = open_out_bin path in
@@ -203,4 +302,4 @@ let read_file path =
       let n = in_channel_length ic in
       let b = Bytes.create n in
       really_input ic b 0 n;
-      of_bytes b)
+      of_bytes_exn b)

@@ -8,6 +8,13 @@
     helper is what run-pre matching checks against the running kernel; it
     can be discarded once the update is applied.
 
+    A {e cumulative} update additionally records the update ids it
+    supersedes ([supersedes]) — applying it atomically replaces that
+    whole applied stack (§5's atomic-replace sketch) — and its
+    shadow-variable hooks: constructor functions run once the new code
+    is live (attaching per-object side-table state for patches that
+    extend a struct layout) and destructor functions run at unpatch.
+
     Symbol namespace: unit-local (static) symbols are canonicalised to
     [name@unit] throughout the update so that two units' identically-named
     statics never collide — the object-level answer to the ambiguous
@@ -25,7 +32,19 @@ type t = {
   helpers : Objfile.t list;
   (* defining unit of every symbol the primary defines *)
   primary_sym_units : (string * string) list;
+  (* update ids this cumulative update atomically replaces, oldest
+     first; [] for an ordinary update *)
+  supersedes : string list;
+  (* canonical names of shadow-variable constructor functions, run (in
+     order) once the replacement code is live *)
+  shadow_ctors : string list;
+  (* canonical names of shadow-variable destructor functions, run (in
+     reverse order) when the update is removed *)
+  shadow_dtors : string list;
 }
+
+(** Does this update atomically replace a stack ([supersedes <> []])? *)
+val is_cumulative : t -> bool
 
 (** [canonical ~binding ~unit name] is the update-namespace symbol name:
     [name@unit] for local symbols, [name] for globals. *)
@@ -35,24 +54,36 @@ val canonical :
 (** [split_canonical n] recovers [(original_name, unit option)]. *)
 val split_canonical : string -> string * string option
 
+(** Why a blob failed to decode: the byte offset the reader stood at and
+    what it found there. Decoding is {e total} — arbitrary bytes yield
+    [Error], never an exception. *)
+type decode_error = { de_off : int; de_reason : string }
+
+val pp_decode_error : Format.formatter -> decode_error -> unit
+val decode_error_to_string : decode_error -> string
+
 (** Self-contained serialisation (format [KSPL1]): every object payload
-    is embedded. [of_bytes] raises [Failure] on malformed input, and
-    refuses store-backed [KSPL2] files with a message naming
-    {!of_bytes_store}. *)
+    is embedded. [of_bytes] refuses store-backed [KSPL2]/[KSPL3] files
+    with an error naming {!of_bytes_store}; [of_bytes_exn] is the legacy
+    interface, raising [Failure] instead. *)
 
 val to_bytes : t -> Bytes.t
-val of_bytes : Bytes.t -> t
+val of_bytes : Bytes.t -> (t, decode_error) result
+val of_bytes_exn : Bytes.t -> t
 
-(** Store-backed serialisation (format [KSPL2]): the primary and helper
-    objects are interned in the artifact store and the file carries only
-    their digests, so stacked updates sharing a base kernel share one
-    physical copy of each common helper. [of_bytes_store] reads both
-    formats — a [KSPL1] file decodes without touching the store; a
-    [KSPL2] file resolves its digests through [store], failing cleanly if
-    a referenced blob is missing or corrupt. *)
+(** Store-backed serialisation (formats [KSPL2] and [KSPL3]): the
+    primary and helper objects are interned in the artifact store and the
+    file carries only their digests, so stacked updates sharing a base
+    kernel share one physical copy of each common helper. The writer
+    emits [KSPL3] only when the update carries cumulative records
+    ([supersedes] or shadow hooks), so ordinary updates stay
+    byte-identical to their [KSPL2] encoding. [of_bytes_store] reads all
+    three formats — a [KSPL1] file decodes without touching the store; a
+    store-backed file resolves its digests through [store], failing
+    cleanly if a referenced blob is missing or corrupt. *)
 
 val to_bytes_store : Store.t -> t -> Bytes.t
-val of_bytes_store : Store.t -> Bytes.t -> (t, string) result
+val of_bytes_store : Store.t -> Bytes.t -> (t, decode_error) result
 
 (** The store digests a serialised update references (primary first,
     then helpers), parsed from the header alone — the blobs are never
@@ -61,5 +92,13 @@ val of_bytes_store : Store.t -> Bytes.t -> (t, string) result
     blobs it shares with other updates. *)
 val store_digests : Bytes.t -> (string list, string) result
 
+(** The update ids a serialised [KSPL3] blob supersedes, parsed from the
+    bytes alone (no store): how a subscriber recognises a cumulative
+    entry in what it actually received. Anything non-cumulative or
+    unparseable supersedes nothing. *)
+val supersedes_of_bytes : Bytes.t -> string list
+
+(** Convenience file IO. [read_file] raises [Failure] on malformed
+    contents. *)
 val write_file : string -> t -> unit
 val read_file : string -> t

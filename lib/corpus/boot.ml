@@ -84,12 +84,52 @@ let syscall b ~uid nr args =
      | Some r -> r
      | None -> Error Machine.Step_limit)
 
-let read_global b name =
+type global_error =
+  | No_such_symbol of string
+  | Ambiguous_symbol of { name : string; candidates : (string * int) list }
+
+let pp_global_error ppf = function
+  | No_such_symbol n -> Format.fprintf ppf "no symbol %s" n
+  | Ambiguous_symbol { name; candidates } ->
+    Format.fprintf ppf "ambiguous symbol %s: %s" name
+      (String.concat ", "
+         (List.map
+            (fun (u, addr) -> Printf.sprintf "%s@%#x" u addr)
+            candidates))
+
+let find_global b name =
   match
     List.filter
       (fun (s : Image.syminfo) -> String.equal s.name name)
       (Machine.kallsyms b.machine)
   with
-  | [ s ] -> Machine.read_i32 b.machine s.addr
-  | [] -> failwith (Printf.sprintf "read_global: no symbol %s" name)
-  | _ -> failwith (Printf.sprintf "read_global: ambiguous symbol %s" name)
+  | [ s ] -> Ok s
+  | [] -> Error (No_such_symbol name)
+  | many -> (
+    (* several kallsyms entries share the name (e.g. a loaded update's
+       module publishing a local of the same name): a unique GLOBAL
+       binding wins; only genuine ties are ambiguous *)
+    match
+      List.filter
+        (fun (s : Image.syminfo) -> s.binding = Objfile.Symbol.Global)
+        many
+    with
+    | [ s ] -> Ok s
+    | _ ->
+      Error
+        (Ambiguous_symbol
+           { name;
+             candidates =
+               List.map
+                 (fun (s : Image.syminfo) -> (s.unit_name, s.addr))
+                 many }))
+
+let read_global_result b name =
+  Result.map (fun (s : Image.syminfo) -> Machine.read_i32 b.machine s.addr)
+    (find_global b name)
+
+let read_global b name =
+  match read_global_result b name with
+  | Ok v -> v
+  | Error e ->
+    failwith (Format.asprintf "read_global: %a" pp_global_error e)

@@ -17,8 +17,24 @@ val boot : ?workers:int -> ?tree:Patchfmt.Source_tree.t -> unit -> booted
     way a user thread would (for host-side checks). *)
 val syscall : booted -> uid:int -> int -> int32 list -> (int32, Kernel.Machine.fault) result
 
-(** [read_global b name] reads a 32-bit kernel global through kallsyms.
-    @raise Failure if the symbol is missing or ambiguous. *)
+(** Why a kallsyms global lookup failed. *)
+type global_error =
+  | No_such_symbol of string
+  | Ambiguous_symbol of { name : string; candidates : (string * int) list }
+      (** every same-named entry as (defining unit, address) *)
+
+val pp_global_error : Format.formatter -> global_error -> unit
+
+(** [read_global_result b name] reads a 32-bit kernel global through
+    kallsyms. When several entries share the name (a loaded module
+    publishing a same-named local alongside the kernel's global, say),
+    a {e unique strongest binding} disambiguates: one GLOBAL entry among
+    locals wins. Anything else is a typed [Ambiguous_symbol] listing
+    every candidate. *)
+val read_global_result : booted -> string -> (int32, global_error) result
+
+(** [read_global b name] is {!read_global_result}, raising on error.
+    @raise Failure if the symbol is missing or genuinely ambiguous. *)
 val read_global : booted -> string -> int32
 
 (** The secret planted at boot ([boot_token]); exploit checks compare

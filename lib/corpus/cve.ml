@@ -771,11 +771,121 @@ let customs =
   [ custom_quota; custom_fs; custom_time; custom_log; custom_keyring;
     custom_sock_backlog; custom_random; custom_sock_shadow ]
 
+(* ===== shadow-hook extras =====
+
+   Struct-layout extensions carried by cumulative updates: each keeps
+   the running layout and attaches the new field as shadow data, with
+   the side table constructed and destroyed by the dedicated
+   [ksplice_shadow_ctor]/[ksplice_shadow_dtor] hooks (§5.3) instead of
+   the generic apply hooks. Kept out of [all] so the 64-CVE evaluation
+   corpus stays byte-for-byte what the paper's Figure 3 counts. *)
+
+let shadow_fs_owner =
+  mk "CVE-2008-1375" "kernel/fs.c"
+    "chown must be restricted to the uid a file was opened with; \
+     upstream adds an orig_owner field to struct file — the hot update \
+     keeps the layout and attaches the field as shadow data built by \
+     the shadow constructor (§5.3)"
+    Priv_escalation
+    ~custom:
+      (Adds_struct_field,
+       {|
+static int fs_shadow_attached = 0;
+
+void fs_attach_owner_shadows() {
+  int i;
+  int *p;
+  int n;
+  n = 0;
+  for (i = 0; i < 16; i = i + 1) {
+    p = (int*)__shadow_attach((int)&file_table[i], 2, 4);
+    if (p != 0) {
+      *p = file_table[i].owner;
+      n = n + 1;
+    }
+  }
+  fs_shadow_attached = n;
+}
+
+void fs_detach_owner_shadows() {
+  int i;
+  for (i = 0; i < 16; i = i + 1)
+    __shadow_detach((int)&file_table[i], 2);
+  fs_shadow_attached = 0;
+}
+
+int fs_shadow_status() {
+  return fs_shadow_attached;
+}
+
+ksplice_shadow_ctor(fs_attach_owner_shadows);
+ksplice_shadow_dtor(fs_detach_owner_shadows);
+|})
+    [ ( "int sys_fs_open(int inode, int mode) {\n  int i;",
+        "int sys_fs_open(int inode, int mode) {\n  int i;\n  int *owner_shadow;" );
+      ( "  file_table[i].owner = __getuid();\n  file_table[i].size = 0;\n  file_count = file_count + 1;\n  return i;",
+        "  file_table[i].owner = __getuid();\n  file_table[i].size = 0;\n  owner_shadow = (int*)__shadow_attach((int)&file_table[i], 2, 4);\n  if (owner_shadow != 0)\n    *owner_shadow = __getuid();\n  file_count = file_count + 1;\n  return i;" );
+      ( "  if (attr == 2) {\n    f->owner = value;\n    return 0;\n  }",
+        "  if (attr == 2) {\n    int *orig = (int*)__shadow_get((int)f, 2);\n    if (orig == 0)\n      return -1;\n    if (__getuid() != 0 && __getuid() != *orig)\n      return -1;\n    f->owner = value;\n    return 0;\n  }" );
+    ]
+
+let shadow_key_revoke =
+  mk "CVE-2007-4997" "kernel/keyring.c"
+    "keys cannot be revoked, so a leaked serial stays readable forever; \
+     upstream adds a revoked field to struct kkey — the hot update \
+     keeps the layout and attaches the flag as shadow data built by \
+     the shadow constructor (§5.3)"
+    Info_disclosure
+    ~custom:
+      (Adds_struct_field,
+       {|
+static int key_shadow_attached = 0;
+
+void key_attach_revoke_shadows() {
+  int i;
+  int *p;
+  int n;
+  n = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    p = (int*)__shadow_attach((int)&key_table[i], 3, 4);
+    if (p != 0) {
+      *p = 0;
+      n = n + 1;
+    }
+  }
+  key_shadow_attached = n;
+}
+
+void key_detach_revoke_shadows() {
+  int i;
+  for (i = 0; i < 8; i = i + 1)
+    __shadow_detach((int)&key_table[i], 3);
+  key_shadow_attached = 0;
+}
+
+int key_shadow_status() {
+  return key_shadow_attached;
+}
+
+ksplice_shadow_ctor(key_attach_revoke_shadows);
+ksplice_shadow_dtor(key_detach_revoke_shadows);
+|})
+    [ ( "int sys_key_add(int payload) {\n  struct kkey *k;\n  if (key_count >= 8)\n    return -1;",
+        "int sys_key_add(int payload) {\n  struct kkey *k;\n  int i;\n  int *rev;\n  if (payload < 0) {\n    for (i = 0; i < key_count; i = i + 1) {\n      if (key_table[i].serial == 0 - payload) {\n        if (key_table[i].owner != __getuid() && __getuid() != 0)\n          return -1;\n        rev = (int*)__shadow_get((int)&key_table[i], 3);\n        if (rev == 0)\n          return -1;\n        *rev = 1;\n        return 0;\n      }\n    }\n    return -1;\n  }\n  if (key_count >= 8)\n    return -1;" );
+      ( "  k->payload = payload;\n  key_count = key_count + 1;\n  return k->serial;",
+        "  k->payload = payload;\n  rev = (int*)__shadow_attach((int)k, 3, 4);\n  if (rev != 0)\n    *rev = 0;\n  key_count = key_count + 1;\n  return k->serial;" );
+      ( "    if (key_table[i].serial == serial) {\n      if (key_table[i].owner != __getuid() && serial != 1)\n        return -1;\n      return key_table[i].payload;\n    }",
+        "    if (key_table[i].serial == serial) {\n      int *rev2 = (int*)__shadow_get((int)&key_table[i], 3);\n      if (rev2 != 0 && *rev2 != 0)\n        return -1;\n      if (key_table[i].owner != __getuid() && serial != 1)\n        return -1;\n      return key_table[i].payload;\n    }" );
+    ]
+
+let shadow_extras = [ shadow_fs_owner; shadow_key_revoke ]
+
 let all =
   [ cve_entry_signed; cve_prctl; cve_vmsplice; cve_proc_leak; cve_dst_ca ]
   @ small_inlined @ small_other @ medium @ large @ customs
 
-let find id = List.find_opt (fun c -> String.equal c.id id) all
+let find id =
+  List.find_opt (fun c -> String.equal c.id id) (all @ shadow_extras)
 
 (* --- tree construction --- *)
 

@@ -25,6 +25,13 @@ type t = {
 (** All 64 CVEs, in corpus order. *)
 val all : t list
 
+(** Shadow-variable extras, kept out of {!all} so the evaluation corpus
+    stays the paper's 64: struct-layout extensions whose new field lives
+    in the machine's shadow table, built and torn down by
+    [ksplice_shadow_ctor]/[ksplice_shadow_dtor] hooks. Exercised by the
+    cumulative-update sweep. *)
+val shadow_extras : t list
+
 val find : string -> t option
 
 (** [fixed_tree cve base] is the source tree with the mainline fix

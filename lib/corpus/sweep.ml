@@ -1349,3 +1349,429 @@ let pp_fleet ppf r =
       "every faulted sync converged byte-identically with a clean mirror \
        and zero redundant transfers; unreachable servers degraded to the \
        old head@\n"
+
+(* ---------- the cumulative sweep: atomic replace at depth ----------
+
+   For each requested depth k a chain of k corpus CVEs (each still
+   applicable to the successively patched tree) is published into a
+   repository and collapsed with [Repo.publish_cumulative]. Contracts:
+
+   - the collapse's [supersedes] lists exactly the chain ids, oldest
+     first;
+   - on a machine carrying the stacked chain, [Apply.apply_cumulative]
+     lands a footprint byte-identical to the undo-then-plain-apply twin
+     (same machine history, same alloc cursors);
+   - undoing the collapse re-stacks the original chain, byte-exact;
+   - a fault injected at every [Txn] step aborts the whole collapse —
+     unwind and install alike — back to the byte-identical stacked
+     machine;
+   - the repository (per-update chain plus the cumulative entry)
+     passes fsck.
+
+   The shadow rows prove §5.3 end to end for the shadow-variable
+   extras: patch (ctor attaches the side table), exploit blocked,
+   collapse and un-collapse keep the shadows live, final undo runs the
+   dtors and the exploit returns. *)
+
+type curow = {
+  cu_requested : int;
+  cu_depth : int;  (* chain entries actually published *)
+  cu_chain : string list;  (* update ids, oldest first *)
+  cu_cells : (Txn.step * cell) list;
+  cu_fsck_clean : bool;
+  cu_notes : string list;  (* violations; [] = row passed *)
+}
+
+type cushadow = {
+  cs_cve : string;
+  cs_shadows : int;  (* shadow bindings live after the collapse *)
+  cs_notes : string list;
+}
+
+type cumulative_report = {
+  cu_rows : curow list;
+  cu_shadows : cushadow list;
+  cu_total_cells : int;
+  cu_rolled_back : int;
+  cu_violations : int;
+}
+
+let cumulative_depths = [ 1; 8; 32 ]
+
+(* publish a chain of [depth] CVEs: walk the corpus, keep every CVE
+   that still applies to the successively patched tree *)
+let cumulative_chain ~name base ~depth =
+  let repo = Repo.of_store (Store.create ~name ()) in
+  let tree = ref base and err = ref None in
+  let chain = ref [] in
+  List.iter
+    (fun (c : Cve.t) ->
+      if !err = None && List.length !chain < depth && Cve.applies_to c !tree
+      then begin
+        let patch = Cve.hot_patch c !tree in
+        match create_update c !tree with
+        | exception Failure m -> err := Some m
+        | update -> (
+          match Repo.publish repo ~source:!tree ~patch ~update with
+          | Error e ->
+            err :=
+              Some (Format.asprintf "publish %s: %a" c.id Repo.pp_error e)
+          | Ok _ -> (
+            match Diff.apply patch !tree with
+            | Ok t ->
+              tree := t;
+              chain := (c, update) :: !chain
+            | Error m -> err := Some (Printf.sprintf "apply %s: %s" c.id m)))
+      end)
+    Cve.all;
+  (repo, List.rev !chain, !err)
+
+(* one faulted collapse cell: the machine carries the stacked chain;
+   an abort must put it back byte-identical (stack still live), a
+   survived apply must verify and un-collapse for the next cell *)
+let run_cucell mgr cum_id update step ~seed =
+  let m = Apply.machine mgr in
+  let snap = Machine.snapshot m in
+  let plan = { Faultinj.step; kind = Faultinj.kind_for_step step; seed } in
+  let session = Faultinj.make m plan in
+  let result = Apply.apply_cumulative mgr ~inject:session update in
+  Faultinj.disarm session;
+  let fired = Faultinj.fired session in
+  match result with
+  | Error e ->
+    let diff = Machine.diff_snapshot m snap in
+    if diff <> [] then
+      Violation
+        (Format.asprintf "abort of %a left the machine diverged: %s"
+           Faultinj.pp_plan plan (err_str e)
+         :: diff)
+    else if not fired then
+      Violation
+        [ Format.asprintf "%a never fired yet collapse failed: %s"
+            Faultinj.pp_plan plan (err_str e) ]
+    else Rolled_back
+  | Ok _ ->
+    let verdict =
+      if fired && Faultinj.expect_abort plan.kind then
+        Violation
+          [ Format.asprintf "%a fired but collapse succeeded"
+              Faultinj.pp_plan plan ]
+      else
+        match Apply.verify mgr with
+        | Error e ->
+          Violation
+            [ Format.asprintf "collapse under %a did not verify: %s"
+                Faultinj.pp_plan plan (err_str e) ]
+        | Ok () -> if fired then Benign else Not_applicable
+    in
+    (match Apply.undo mgr cum_id with
+     | Ok () -> verdict
+     | Error e -> (
+       match verdict with
+       | Violation msgs ->
+         Violation (msgs @ [ "and un-collapse failed: " ^ err_str e ])
+       | _ ->
+         Violation [ "un-collapse after surviving apply failed: " ^ err_str e ]))
+
+let stack_ids mgr =
+  List.rev_map
+    (fun (a : Apply.applied) -> a.Apply.update.Ksplice.Update.update_id)
+    (Apply.applied mgr)
+
+let run_curow ~seed ~depth base =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := !notes @ [ s ]) fmt in
+  let repo, chain, chain_err =
+    cumulative_chain ~name:(Printf.sprintf "cumulative-%d" depth) base ~depth
+  in
+  (match chain_err with Some m -> note "%s" m | None -> ());
+  let ids = List.map (fun ((c : Cve.t), _) -> c.id) chain in
+  if chain = [] then note "no chain could be published";
+  let cum_id = Printf.sprintf "cumulative-depth-%d" depth in
+  let cum =
+    if chain = [] then None
+    else
+      match
+        Repo.publish_cumulative repo ~source:base ~update_id:cum_id
+          ~description:
+            (Printf.sprintf "collapse of %d updates" (List.length chain))
+      with
+      | Ok e -> Some e.Repo.update
+      | Error e ->
+        note "publish_cumulative: %a" Repo.pp_error e;
+        None
+  in
+  (match cum with
+   | None -> ()
+   | Some cu ->
+     if cu.Ksplice.Update.supersedes <> ids then
+       note "collapse supersedes [%s], chain is [%s]"
+         (String.concat "; " cu.Ksplice.Update.supersedes)
+         (String.concat "; " ids));
+  let stack_all mgr who =
+    List.iter
+      (fun (_, (u : Ksplice.Update.t)) ->
+        match Apply.apply mgr u with
+        | Ok _ -> ()
+        | Error e ->
+          note "%s: stacking %s failed: %s" who u.update_id (err_str e))
+      chain
+  in
+  let cells = ref [] in
+  (match cum with
+   | None -> ()
+   | Some cu ->
+     (* footprint twins: undo-then-plain-apply vs atomic replace *)
+     let ba = Boot.boot () and bb = Boot.boot () in
+     let mgra = Apply.init ba.Boot.machine in
+     let mgrb = Apply.init bb.Boot.machine in
+     stack_all mgra "plain twin";
+     stack_all mgrb "collapse twin";
+     List.iter
+       (fun ((c : Cve.t), _) ->
+         match Apply.undo mgra c.id with
+         | Ok () -> ()
+         | Error e -> note "plain twin: undo %s failed: %s" c.id (err_str e))
+       (List.rev chain);
+     (match Apply.apply mgra cu with
+      | Ok _ -> ()
+      | Error e -> note "plain twin: apply failed: %s" (err_str e));
+     (match Apply.apply_cumulative mgrb cu with
+      | Ok _ -> ()
+      | Error e -> note "atomic replace failed: %s" (err_str e));
+     if not (String.equal (Apply.footprint mgra) (Apply.footprint mgrb))
+     then note "collapse footprint diverges from the plain twin";
+     (match stack_ids mgrb with
+      | [ id ] when String.equal id cum_id -> ()
+      | got ->
+        note "after the collapse the stack is [%s], want [%s]"
+          (String.concat "; " got) cum_id);
+     (match Apply.verify mgrb with
+      | Ok () -> ()
+      | Error e -> note "collapsed machine does not verify: %s" (err_str e));
+     List.iter
+       (fun ((c : Cve.t), _) ->
+         match Exploits.find c.id with
+         | None -> ()
+         | Some ex ->
+           let o = ex.run bb in
+           if o.succeeded then
+             note "exploit %s still succeeds after the collapse: %s" ex.name
+               o.detail)
+       chain;
+     (* undoing the collapse must re-stack the superseded chain *)
+     (match Apply.undo mgrb cum_id with
+      | Error e -> note "undo of the collapse failed: %s" (err_str e)
+      | Ok () ->
+        if stack_ids mgrb <> ids then
+          note "undo of the collapse re-stacked [%s], want [%s]"
+            (String.concat "; " (stack_ids mgrb))
+            (String.concat "; " ids);
+        match Apply.verify mgrb with
+        | Ok () -> ()
+        | Error e -> note "re-stacked machine does not verify: %s" (err_str e));
+     (* the faulted cells, on a third stacked machine *)
+     let bc = Boot.boot () in
+     let mgrc = Apply.init bc.Boot.machine in
+     stack_all mgrc "fault twin";
+     cells :=
+       List.mapi
+         (fun si step ->
+           (step, run_cucell mgrc cum_id cu step ~seed:(seed + (31 * si))))
+         Txn.all_steps;
+     (* recovery: a clean collapse must still land after the sweep *)
+     (match Apply.apply_cumulative mgrc cu with
+      | Error e -> note "clean collapse after the sweep failed: %s" (err_str e)
+      | Ok _ -> (
+        match Apply.verify mgrc with
+        | Ok () -> ()
+        | Error e -> note "recovered collapse does not verify: %s" (err_str e))));
+  let fsck_clean =
+    match Repo.fsck repo with
+    | Ok _ -> true
+    | Error fr ->
+      List.iter
+        (fun iss -> note "fsck: %a" Store.pp_fsck_issue iss)
+        fr.Repo.store_report.Store.f_issues;
+      List.iter
+        (fun (d, m) -> note "fsck: entry %s: %s" d m)
+        fr.Repo.corrupt_entries;
+      false
+  in
+  {
+    cu_requested = depth;
+    cu_depth = List.length chain;
+    cu_chain = ids;
+    cu_cells = !cells;
+    cu_fsck_clean = fsck_clean;
+    cu_notes = !notes;
+  }
+
+(* §5.3 round trip for one shadow-variable extra *)
+let run_cushadow (cve : Cve.t) base =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := !notes @ [ s ]) fmt in
+  let b = Boot.boot () in
+  let m = b.Boot.machine in
+  let mgr = Apply.init m in
+  let count0 = Machine.shadow_count m in
+  let check_exploit who expect =
+    match Exploits.find cve.id with
+    | None -> note "no exploit registered for %s" cve.id
+    | Some ex ->
+      let o = ex.run b in
+      if o.succeeded <> expect then
+        note "%s: exploit %s %s (%s)" who ex.name
+          (if o.succeeded then "succeeded" else "was blocked")
+          o.detail
+  in
+  let repo = Repo.of_store (Store.create ~name:("cushadow-" ^ cve.id) ()) in
+  let patch = Cve.hot_patch cve base in
+  let update = create_update cve base in
+  (match Repo.publish repo ~source:base ~patch ~update with
+   | Ok _ -> ()
+   | Error e -> note "publish: %a" Repo.pp_error e);
+  let cum_id = cve.id ^ "-cumulative" in
+  let cum =
+    match
+      Repo.publish_cumulative repo ~source:base ~update_id:cum_id
+        ~description:("collapse of " ^ cve.id)
+    with
+    | Ok e -> Some e.Repo.update
+    | Error e ->
+      note "publish_cumulative: %a" Repo.pp_error e;
+      None
+  in
+  (match Apply.apply mgr update with
+   | Ok _ -> ()
+   | Error e -> note "apply failed: %s" (err_str e));
+  if Machine.shadow_count m <= count0 then
+    note "shadow ctor attached nothing (%d bindings)" (Machine.shadow_count m);
+  check_exploit "patched" false;
+  let shadows = ref 0 in
+  (match cum with
+   | None -> ()
+   | Some cu ->
+     (match Apply.apply_cumulative mgr cu with
+      | Ok _ -> ()
+      | Error e -> note "atomic replace failed: %s" (err_str e));
+     shadows := Machine.shadow_count m;
+     if !shadows <= count0 then
+       note "collapse dropped the shadows (%d bindings)" !shadows;
+     check_exploit "collapsed" false;
+     (match Apply.undo mgr cum_id with
+      | Ok () -> ()
+      | Error e -> note "undo of the collapse failed: %s" (err_str e));
+     if Machine.shadow_count m <= count0 then
+       note "un-collapse lost the original update's shadows";
+     check_exploit "re-stacked" false);
+  (match Apply.undo mgr cve.id with
+   | Ok () -> ()
+   | Error e -> note "final undo failed: %s" (err_str e));
+  if Machine.shadow_count m <> count0 then
+    note "shadow dtor left %d bindings (started with %d)"
+      (Machine.shadow_count m) count0;
+  check_exploit "reverted" true;
+  { cs_cve = cve.id; cs_shadows = !shadows; cs_notes = !notes }
+
+let run_cumulative ?(seed = 0) ?(depths = cumulative_depths) ?progress
+    ?domains () =
+  let base = Base_kernel.tree () in
+  let progress_m = Mutex.create () in
+  let emit line =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_m;
+      f line;
+      Mutex.unlock progress_m
+  in
+  let rows =
+    Parallel.map ?domains
+      (fun (i, depth) ->
+        let row = run_curow ~seed:(seed + (4001 * i)) ~depth base in
+        emit
+          (Printf.sprintf "depth %-3d (%d published) %s  fsck %s%s"
+             row.cu_requested row.cu_depth
+             (String.concat ""
+                (List.map (fun (_, c) -> String.make 1 (cell_char c))
+                   row.cu_cells))
+             (if row.cu_fsck_clean then "clean" else "DIRTY")
+             (if row.cu_notes = [] then "" else "  VIOLATION"));
+        row)
+      (List.mapi (fun i d -> (i, d)) depths)
+  in
+  let shadows =
+    Parallel.map ?domains
+      (fun (cve : Cve.t) ->
+        let row = run_cushadow cve base in
+        emit
+          (Printf.sprintf "%-14s %d shadow bindings%s" row.cs_cve
+             row.cs_shadows
+             (if row.cs_notes = [] then "" else "  VIOLATION"));
+        row)
+      Cve.shadow_extras
+  in
+  let cell_count f =
+    List.fold_left
+      (fun acc r ->
+        acc + List.length (List.filter (fun (_, c) -> f c) r.cu_cells))
+      0 rows
+  in
+  {
+    cu_rows = rows;
+    cu_shadows = shadows;
+    cu_total_cells = cell_count (fun _ -> true);
+    cu_rolled_back = cell_count (fun c -> c = Rolled_back);
+    cu_violations =
+      cell_count (function Violation _ -> true | _ -> false)
+      + List.fold_left (fun a r -> a + List.length r.cu_notes) 0 rows
+      + List.fold_left (fun a r -> a + List.length r.cs_notes) 0 shadows;
+  }
+
+let cumulative_ok r = r.cu_violations = 0
+
+let pp_cumulative ppf r =
+  Format.fprintf ppf
+    "cumulative sweep: atomic replace at depth %s, faults at every step@\n@\n"
+    (String.concat "/"
+       (List.map (fun row -> string_of_int row.cu_requested) r.cu_rows));
+  Format.fprintf ppf "%-10s %-10s %-12s %-6s cells@\n" "requested"
+    "published" "chain-head" "fsck";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-10d %-10d %-12s %-6s %s%s@\n" row.cu_requested
+        row.cu_depth
+        (match List.rev row.cu_chain with [] -> "-" | id :: _ -> id)
+        (if row.cu_fsck_clean then "clean" else "DIRTY")
+        (String.concat ""
+           (List.map (fun (_, c) -> String.make 1 (cell_char c)) row.cu_cells))
+        (if row.cu_notes = [] then "" else "  VIOLATION"))
+    r.cu_rows;
+  Format.fprintf ppf "@\nshadow-variable rows (§5.3):@\n";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-16s %d bindings%s@\n" row.cs_cve row.cs_shadows
+        (if row.cs_notes = [] then "" else "  VIOLATION"))
+    r.cu_shadows;
+  Format.fprintf ppf
+    "@\ncells: %d  rolled-back: %d  violations: %d@\n" r.cu_total_cells
+    r.cu_rolled_back r.cu_violations;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun m ->
+          Format.fprintf ppf "VIOLATION depth %d: %s@\n" row.cu_requested m)
+        row.cu_notes)
+    r.cu_rows;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun m -> Format.fprintf ppf "VIOLATION %s: %s@\n" row.cs_cve m)
+        row.cs_notes)
+    r.cu_shadows;
+  if cumulative_ok r then
+    Format.fprintf ppf
+      "every collapse landed footprint-identical to its plain twin, every \
+       fault rolled back to the stacked machine, and the shadow round \
+       trips ran their ctors and dtors@\n"

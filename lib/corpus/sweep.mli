@@ -291,3 +291,70 @@ val fleet_sample : unit -> Cve.t list
 val fleet_ok : fleet_report -> bool
 
 val pp_fleet : Format.formatter -> fleet_report -> unit
+
+(** {1 The cumulative sweep: atomic replace at depth}
+
+    For each requested depth [k] a chain of [k] corpus CVEs (each still
+    applicable to the successively patched tree) is published into a
+    repository and collapsed with {!Ksplice.Repository.publish_cumulative}.
+    Contracts per row:
+
+    - the collapse's [supersedes] lists exactly the chain ids, oldest
+      first;
+    - on a machine carrying the stacked chain,
+      {!Ksplice.Apply.apply_cumulative} lands a footprint byte-identical
+      to the undo-then-plain-apply twin;
+    - undoing the collapse re-stacks the original chain;
+    - a fault injected at every {!Ksplice.Txn.step} aborts the whole
+      collapse — unwind and install alike — back to the byte-identical
+      stacked machine;
+    - the repository (per-update chain plus cumulative entry) passes
+      fsck.
+
+    The shadow rows prove §5.3 end to end for {!Cve.shadow_extras}:
+    patch (the ctor attaches the side table), exploit blocked, collapse
+    and un-collapse keep the shadows live, the final undo runs the dtors
+    and the exploit returns. *)
+
+type curow = {
+  cu_requested : int;
+  cu_depth : int;  (** chain entries actually published *)
+  cu_chain : string list;  (** update ids, oldest first *)
+  cu_cells : (Ksplice.Txn.step * cell) list;
+  cu_fsck_clean : bool;
+  cu_notes : string list;  (** violations; [[]] = row passed *)
+}
+
+type cushadow = {
+  cs_cve : string;
+  cs_shadows : int;  (** shadow bindings live after the collapse *)
+  cs_notes : string list;
+}
+
+type cumulative_report = {
+  cu_rows : curow list;
+  cu_shadows : cushadow list;
+  cu_total_cells : int;
+  cu_rolled_back : int;
+  cu_violations : int;
+}
+
+(** The default depths {!run_cumulative} sweeps: [1; 8; 32]. *)
+val cumulative_depths : int list
+
+(** [run_cumulative ?seed ?depths ?progress ?domains ()] — same fan-out
+    and determinism discipline as {!run}. A depth row publishes as many
+    chain entries as the corpus still yields ([cu_depth] ≤
+    [cu_requested] — the shortfall is reported, not hidden). *)
+val run_cumulative :
+  ?seed:int ->
+  ?depths:int list ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  unit ->
+  cumulative_report
+
+(** No violations in any row. *)
+val cumulative_ok : cumulative_report -> bool
+
+val pp_cumulative : Format.formatter -> cumulative_report -> unit

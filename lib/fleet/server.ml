@@ -145,7 +145,28 @@ let serve_connection ?id repo (tr : Transport.t) =
   tr.close ();
   s.st
 
+(* Is some process accepting on [socket_path]? A leftover file from a
+   crashed server refuses the probe connection; a live server accepts
+   (the probe is closed before speaking, which the accept loop sees as
+   an immediate disconnect). *)
+let socket_live socket_path =
+  let probe = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  let alive =
+    match Unix.connect probe (ADDR_UNIX socket_path) with
+    | () -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+  in
+  (try Unix.close probe with Unix.Unix_error _ -> ());
+  alive
+
 let listen ~socket_path ?max_sessions ?recv_timeout repo =
+  (* only a dead socket file may be replaced: blindly unlinking would
+     steal a live server's socket out from under its subscribers *)
+  if Sys.file_exists socket_path && socket_live socket_path then
+    Error
+      (Printf.sprintf "cannot bind %s: a live server is already listening"
+         socket_path)
+  else
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   match
     if Sys.file_exists socket_path then Unix.unlink socket_path;

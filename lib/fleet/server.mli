@@ -39,10 +39,12 @@ val finished : session -> bool
 val serve_connection : ?id:string -> Ksplice.Repository.t -> Transport.t -> stats
 
 (** [listen ~socket_path ?max_sessions repo] binds a Unix-domain socket
-    (replacing any stale file) and serves connections sequentially —
-    [max_sessions] bounds the accept loop (default: run forever).
-    Returns the number of sessions served, or an error message if the
-    socket could not be bound. *)
+    and serves connections sequentially — [max_sessions] bounds the
+    accept loop (default: run forever). A stale socket file (left by a
+    crashed server) is probed for liveness and replaced only if nothing
+    answers; if a live server already owns it, [listen] returns an error
+    instead of stealing the socket. Returns the number of sessions
+    served, or an error message if the socket could not be bound. *)
 val listen :
   socket_path:string -> ?max_sessions:int -> ?recv_timeout:float ->
   Ksplice.Repository.t -> (int, string) result

@@ -89,10 +89,17 @@ let commit_ready store (items : Wire.manifest_item array) committed totals =
       | None -> ()
       | Some raw ->
         if List.for_all (Store.mem store) (Repo.closure raw) then begin
+          (* the ref name comes from the verified bytes, not the
+             manifest: a cumulative entry lands under its cumulative
+             ref so a later local sync takes the one-hop route *)
+          let ref_name =
+            Option.value (Repo.blob_ref raw)
+              ~default:(Repo.entry_ref i.mi_base)
+          in
           Store.with_txn store (fun () ->
               let hd = Store.put store i.mi_next in
               Store.commit_refs store
-                [ (Repo.entry_ref i.mi_base, i.mi_blob); (head_ref, hd) ]);
+                [ (ref_name, i.mi_blob); (head_ref, hd) ]);
           incr committed;
           totals.committed <- totals.committed + 1;
           go ()

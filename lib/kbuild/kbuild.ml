@@ -108,7 +108,11 @@ module Unit_codec = Store.Typed (struct
     in
     match
       let source_name = get_str () in
-      let obj = Objfile.of_bytes (Bytes.of_string (get_str ())) in
+      let obj =
+        match Objfile.of_bytes (Bytes.of_string (get_str ())) with
+        | Ok o -> o
+        | Error e -> fail ("bad object: " ^ Objfile.decode_error_to_string e)
+      in
       let n =
         match int_of_string_opt (get_str ()) with
         | Some n when n >= 0 -> n

@@ -233,6 +233,33 @@ val clear_injectors : t -> unit
 
 val remove_privileged_range : t -> int * int -> unit
 
+(** {2 Shadow variables (§5.3)}
+
+    The per-object side table — (object address, key) -> shadow address
+    — that patched kernel code reaches through the [__shadow_attach] /
+    [__shadow_get] / [__shadow_detach] builtins (INT 8/9/10), exposed to
+    host code so the patching machinery's shadow constructors and
+    destructors see exactly what kernel code sees. Attachments are
+    idempotent (re-attaching yields the existing shadow) and allocate
+    zero-filled module memory; the bindings are volatile state, so a
+    rolled-back transaction unwinds them. *)
+
+val shadow_attach : t -> obj:int -> key:int -> size:int -> int
+val shadow_get : t -> obj:int -> key:int -> int option
+val shadow_detach : t -> obj:int -> key:int -> unit
+
+(** Number of live shadow bindings. *)
+val shadow_count : t -> int
+
+(** Every live binding, sorted: (object, key), shadow address. *)
+val shadow_bindings : t -> ((int * int) * int) list
+
+(** [shadow_reattach m ~obj ~key ~addr] rebinds a key to an existing
+    shadow allocation, replacing any current binding. Used when undoing
+    a cumulative update: the displaced updates' side tables are revived
+    exactly as the collapse found them. *)
+val shadow_reattach : t -> obj:int -> key:int -> addr:int -> unit
+
 (** {2 Transactional state capture}
 
     [save_volatile]/[restore_volatile] cover everything {e except} raw

@@ -121,6 +121,7 @@ type entry = {
   e_update : Update.t;
   e_health : health_check list;
   e_inject : attempt:int -> Ksplice.Faultinj.session option;
+  e_cumulative : bool;  (* apply via atomic replace *)
   e_order : int;  (* submission order: the retry-queue tie-break *)
   mutable e_attempts : int;
   mutable e_due : int;  (* manager-clock time of the next attempt *)
@@ -236,8 +237,7 @@ let retry_delay pol ~id ~attempt =
   let expo = pol.backoff_base * (1 lsl min (attempt - 1) 20) in
   min pol.backoff_cap expo + jitter ~seed:pol.seed ~id ~attempt ~bound:pol.jitter
 
-let submit ?(health = []) ?(inject = fun ~attempt:_ -> None) t
-    (update : Update.t) =
+let submit_gen ~cumulative ~health ~inject t (update : Update.t) =
   let id = update.Update.update_id in
   if
     List.exists
@@ -249,6 +249,7 @@ let submit ?(health = []) ?(inject = fun ~attempt:_ -> None) t
       e_update = update;
       e_health = health;
       e_inject = inject;
+      e_cumulative = cumulative;
       e_order = List.length t.entries;
       e_attempts = 0;
       e_due = t.clock;
@@ -257,6 +258,18 @@ let submit ?(health = []) ?(inject = fun ~attempt:_ -> None) t
   in
   t.entries <- t.entries @ [ e ];
   emit t id Event.Submitted
+    ~detail:(if cumulative then "cumulative" else "")
+
+let submit ?(health = []) ?(inject = fun ~attempt:_ -> None) t update =
+  submit_gen ~cumulative:false ~health ~inject t update
+
+let submit_cumulative ?(health = []) ?(inject = fun ~attempt:_ -> None) t
+    update =
+  if not (Update.is_cumulative update) then
+    invalid_arg
+      (Printf.sprintf "Manager.submit_cumulative: %s supersedes nothing"
+         update.Update.update_id);
+  submit_gen ~cumulative:true ~health ~inject t update
 
 (* --- rollback auditing --- *)
 
@@ -373,12 +386,21 @@ let attempt t e =
     if t.pol.audit_rollback then Some (Machine.snapshot m) else None
   in
   e.e_attempts <- e.e_attempts + 1;
-  match
-    Apply.apply t.ap ~max_attempts:t.pol.apply_attempts
-      ~deadline:t.pol.deadline
-      ?inject:(e.e_inject ~attempt:e.e_attempts)
-      e.e_update
-  with
+  (* a cumulative entry goes through atomic replace; everything after
+     the apply — health gate, auto-revert, auditing — is identical, and
+     undoing a quarantined cumulative restores the displaced stack from
+     its journal without re-applying anything *)
+  let apply_once =
+    if e.e_cumulative then
+      Apply.apply_cumulative ~max_attempts:t.pol.apply_attempts
+        ~deadline:t.pol.deadline
+        ?inject:(e.e_inject ~attempt:e.e_attempts)
+    else
+      Apply.apply ~max_attempts:t.pol.apply_attempts
+        ~deadline:t.pol.deadline
+        ?inject:(e.e_inject ~attempt:e.e_attempts)
+  in
+  match apply_once t.ap e.e_update with
   | Ok a -> health_gate t e a
   | Error err ->
     audit_clean t id ~what:"apply rollback" snap;

@@ -143,6 +143,20 @@ val submit :
   Ksplice.Update.t ->
   unit
 
+(** [submit_cumulative] queues a cumulative update for supervised
+    {e atomic replace} ({!Ksplice.Apply.apply_cumulative}): the stacked
+    updates it supersedes unwind and the replacement installs in one
+    transaction. The health gate is identical to {!submit}'s; if it
+    fails, auto-revert undoes the cumulative update, which restores the
+    displaced stack from its journal — nothing is re-applied. Rejects
+    non-cumulative updates with [Invalid_argument]. *)
+val submit_cumulative :
+  ?health:health_check list ->
+  ?inject:(attempt:int -> Ksplice.Faultinj.session option) ->
+  t ->
+  Ksplice.Update.t ->
+  unit
+
 (** Drive the queue until every entry is terminal (applied-healthy,
     parked, or quarantined). Termination is structural: attempts are
     capped by [retry_limit] and each backoff is bounded, so [run] never

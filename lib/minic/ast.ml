@@ -98,6 +98,11 @@ type hook_kind =
   | Hook_reverse
   | Hook_pre_reverse
   | Hook_post_reverse
+  (* shadow-variable hooks: constructors run once the replacement code is
+     live, destructors when the update is removed (§5.3's shadow data
+     structures — patches that extend a struct layout) *)
+  | Hook_shadow_ctor
+  | Hook_shadow_dtor
 
 let hook_section = function
   | Hook_apply -> ".ksplice.apply"
@@ -106,6 +111,8 @@ let hook_section = function
   | Hook_reverse -> ".ksplice.reverse"
   | Hook_pre_reverse -> ".ksplice.pre_reverse"
   | Hook_post_reverse -> ".ksplice.post_reverse"
+  | Hook_shadow_ctor -> ".ksplice.shadow_ctor"
+  | Hook_shadow_dtor -> ".ksplice.shadow_dtor"
 
 let hook_of_keyword = function
   | "ksplice_apply" -> Some Hook_apply
@@ -114,6 +121,8 @@ let hook_of_keyword = function
   | "ksplice_reverse" -> Some Hook_reverse
   | "ksplice_pre_reverse" -> Some Hook_pre_reverse
   | "ksplice_post_reverse" -> Some Hook_post_reverse
+  | "ksplice_shadow_ctor" -> Some Hook_shadow_ctor
+  | "ksplice_shadow_dtor" -> Some Hook_shadow_dtor
   | _ -> None
 
 type struct_def = {

@@ -22,7 +22,8 @@ let keywords =
     "do"; "switch"; "case"; "default";
     "return"; "break"; "continue"; "static"; "inline"; "extern"; "sizeof";
     "ksplice_apply"; "ksplice_pre_apply"; "ksplice_post_apply";
-    "ksplice_reverse"; "ksplice_pre_reverse"; "ksplice_post_reverse" ]
+    "ksplice_reverse"; "ksplice_pre_reverse"; "ksplice_post_reverse";
+    "ksplice_shadow_ctor"; "ksplice_shadow_dtor" ]
 
 let is_ident_start = function
   | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true

@@ -457,7 +457,8 @@ let parse_topdecl st =
   match peek st with
   | Lexer.KW ("ksplice_apply" | "ksplice_pre_apply" | "ksplice_post_apply"
              | "ksplice_reverse" | "ksplice_pre_reverse"
-             | "ksplice_post_reverse" as kw) ->
+             | "ksplice_post_reverse" | "ksplice_shadow_ctor"
+             | "ksplice_shadow_dtor" as kw) ->
     advance st;
     eat_punct st "(";
     let f = expect_ident st in

@@ -68,22 +68,21 @@ let kind_code = function
   | Section.Text -> 0 | Section.Data -> 1 | Section.Rodata -> 2
   | Section.Bss -> 3 | Section.Note -> 4
 
-let kind_of_code = function
-  | 0 -> Section.Text | 1 -> Section.Data | 2 -> Section.Rodata
-  | 3 -> Section.Bss | 4 -> Section.Note
-  | n -> failwith (Printf.sprintf "Objfile: bad section kind %d" n)
+(* Decode failures are data, not exceptions: a corrupt blob out of a
+   store or off the wire must surface as a typed [Error], never escape a
+   caller as [Failure]. The reader raises the private [Decode] exception
+   internally; [of_bytes] is the only boundary that catches it. *)
+type decode_error = { de_off : int; de_reason : string }
+
+exception Decode of decode_error
+
+let pp_decode_error ppf e =
+  Format.fprintf ppf "%s at byte %d" e.de_reason e.de_off
+
+let decode_error_to_string e = Format.asprintf "%a" pp_decode_error e
 
 let rkind_code = function Reloc.Abs32 -> 0 | Reloc.Pc32 -> 1
-
-let rkind_of_code = function
-  | 0 -> Reloc.Abs32 | 1 -> Reloc.Pc32
-  | n -> failwith (Printf.sprintf "Objfile: bad reloc kind %d" n)
-
 let skind_code = function `Func -> 0 | `Object -> 1 | `Notype -> 2
-
-let skind_of_code = function
-  | 0 -> `Func | 1 -> `Object | 2 -> `Notype
-  | n -> failwith (Printf.sprintf "Objfile: bad symbol kind %d" n)
 
 let to_bytes o =
   let b = Buffer.create 4096 in
@@ -124,8 +123,10 @@ let to_bytes o =
 
 type reader = { buf : Bytes.t; mutable pos : int }
 
+let bad r reason = raise (Decode { de_off = r.pos; de_reason = reason })
+
 let need r n =
-  if r.pos + n > Bytes.length r.buf then failwith "Objfile: truncated input"
+  if n < 0 || r.pos + n > Bytes.length r.buf then bad r "truncated input"
 
 let get_u8 r =
   need r 1;
@@ -141,8 +142,21 @@ let get_i32 r =
 
 let get_int r =
   let v = Int32.to_int (get_i32 r) in
-  if v < 0 then failwith "Objfile: negative length";
+  if v < 0 then bad r "negative length";
   v
+
+let kind_of_code r = function
+  | 0 -> Section.Text | 1 -> Section.Data | 2 -> Section.Rodata
+  | 3 -> Section.Bss | 4 -> Section.Note
+  | n -> bad r (Printf.sprintf "bad section kind %d" n)
+
+let rkind_of_code r = function
+  | 0 -> Reloc.Abs32 | 1 -> Reloc.Pc32
+  | n -> bad r (Printf.sprintf "bad reloc kind %d" n)
+
+let skind_of_code r = function
+  | 0 -> `Func | 1 -> `Object | 2 -> `Notype
+  | n -> bad r (Printf.sprintf "bad symbol kind %d" n)
 
 let get_str r =
   let n = get_int r in
@@ -158,18 +172,17 @@ let get_bytes r =
   r.pos <- r.pos + n;
   s
 
-let of_bytes buf =
-  let r = { buf; pos = 0 } in
+let decode r =
   need r (String.length magic);
-  if Bytes.sub_string buf 0 (String.length magic) <> magic then
-    failwith "Objfile: bad magic";
+  if Bytes.sub_string r.buf 0 (String.length magic) <> magic then
+    bad r "bad magic";
   r.pos <- String.length magic;
   let unit_name = get_str r in
   let n_sections = get_int r in
   let sections =
     List.init n_sections (fun _ ->
         let name = get_str r in
-        let kind = kind_of_code (get_u8 r) in
+        let kind = kind_of_code r (get_u8 r) in
         let size = get_int r in
         let align = get_int r in
         let data = get_bytes r in
@@ -177,7 +190,7 @@ let of_bytes buf =
         let relocs =
           List.init n_relocs (fun _ ->
               let offset = get_int r in
-              let kind = rkind_of_code (get_u8 r) in
+              let kind = rkind_of_code r (get_u8 r) in
               let sym = get_str r in
               let addend = get_i32 r in
               { Reloc.offset; kind; sym; addend })
@@ -192,9 +205,9 @@ let of_bytes buf =
           match get_u8 r with
           | 0 -> Symbol.Local
           | 1 -> Symbol.Global
-          | n -> failwith (Printf.sprintf "Objfile: bad binding %d" n)
+          | n -> bad r (Printf.sprintf "bad binding %d" n)
         in
-        let kind = skind_of_code (get_u8 r) in
+        let kind = skind_of_code r (get_u8 r) in
         let size = get_int r in
         let def =
           match get_u8 r with
@@ -203,11 +216,21 @@ let of_bytes buf =
             let section = get_str r in
             let value = get_int r in
             Some { Symbol.section; value }
-          | n -> failwith (Printf.sprintf "Objfile: bad def flag %d" n)
+          | n -> bad r (Printf.sprintf "bad def flag %d" n)
         in
         { Symbol.name; binding; def; size; kind })
   in
   { unit_name; sections; symbols }
+
+let of_bytes buf =
+  match decode { buf; pos = 0 } with
+  | o -> Ok o
+  | exception Decode e -> Error e
+
+let of_bytes_exn buf =
+  match of_bytes buf with
+  | Ok o -> o
+  | Error e -> failwith ("Objfile: " ^ decode_error_to_string e)
 
 let write_file path o =
   let oc = open_out_bin path in
@@ -223,4 +246,4 @@ let read_file path =
       let n = in_channel_length ic in
       let b = Bytes.create n in
       really_input ic b 0 n;
-      of_bytes b)
+      of_bytes_exn b)

@@ -36,12 +36,26 @@ val defined_symbols_in : t -> string -> Symbol.t list
     defined by any symbol of [o]. *)
 val undefined_symbols : t -> string list
 
-(** Binary serialisation. [of_bytes] raises [Failure] on malformed input. *)
+(** Binary serialisation. *)
 val to_bytes : t -> Bytes.t
 
-val of_bytes : Bytes.t -> t
+(** Why a blob failed to decode: the byte offset the reader stood at and
+    what it found there. Decoding is {e total} — arbitrary bytes yield
+    [Error], never an exception. *)
+type decode_error = { de_off : int; de_reason : string }
 
-(** Convenience file IO. *)
+val pp_decode_error : Format.formatter -> decode_error -> unit
+val decode_error_to_string : decode_error -> string
+
+val of_bytes : Bytes.t -> (t, decode_error) result
+
+(** [of_bytes_exn] is {!of_bytes}, raising [Failure] on malformed input
+    (the pre-typed-error interface, for callers that cannot recover
+    anyway). *)
+val of_bytes_exn : Bytes.t -> t
+
+(** Convenience file IO. [read_file] raises [Failure] on malformed
+    contents. *)
 val write_file : string -> t -> unit
 
 val read_file : string -> t

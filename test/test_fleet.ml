@@ -348,6 +348,64 @@ let test_disk_resume_across_handles () =
         (r1.r_bytes_fetched = 0 || r2.r_bytes_saved > 0);
       check_mirror repo s2)
 
+(* --- the listener's stale-socket liveness probe --- *)
+
+let tmp_socket_path () =
+  let f = Filename.temp_file "ksplice-fleet" ".sock" in
+  Sys.remove f;
+  f
+
+let test_listen_replaces_dead_socket () =
+  (* a crashed server leaves its socket file behind; nobody accepts on
+     it, so the liveness probe must let a new server take the path *)
+  let path = tmp_socket_path () in
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 1;
+  Unix.close fd;
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists path);
+  let repo = server_repo () in
+  (match Server.listen ~socket_path:path ~max_sessions:0 repo with
+  | Ok n -> Alcotest.(check int) "bound without serving" 0 n
+  | Error e -> Alcotest.failf "listen refused a dead socket: %s" e);
+  Alcotest.(check bool) "socket file cleaned up" false (Sys.file_exists path)
+
+let test_listen_refuses_live_socket () =
+  (* a second listener on a live path must fail without disturbing the
+     first server — its probe connection shows up as one empty session *)
+  let path = tmp_socket_path () in
+  let repo = server_repo () in
+  let server =
+    Domain.spawn (fun () ->
+        Server.listen ~socket_path:path ~max_sessions:2 ~recv_timeout:10. repo)
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  (match Server.listen ~socket_path:path ~max_sessions:1 repo with
+  | Ok _ -> Alcotest.fail "second listener stole a live socket"
+  | Error e ->
+    Alcotest.(check bool) "error names the conflict" true
+      (String.length e > 0));
+  (* the first server survived the probe: a real subscriber still syncs *)
+  let sub = sub_store () in
+  let r =
+    Subscriber.sync ~store:sub ~base:base_digest
+      ~connect:(fun _ ->
+        match Transport.connect_unix ~recv_timeout:10. path with
+        | tr -> Some tr
+        | exception Unix.Unix_error _ -> None)
+      ()
+  in
+  Alcotest.(check bool) "synced past the refused listener" true
+    r.Subscriber.r_synced;
+  (match Domain.join server with
+  | Ok n -> Alcotest.(check int) "probe + sync sessions" 2 n
+  | Error e -> Alcotest.failf "first server died: %s" e);
+  check_mirror repo sub
+
 let test_socketpair_roundtrip () =
   let repo = server_repo () in
   let client_end, server_end = Transport.pair ~recv_timeout:10. () in
@@ -382,6 +440,8 @@ let suite =
           test_backoff_shape;
         t "disk-backed resume across process handles"
           test_disk_resume_across_handles;
+        t "listen replaces a dead socket file" test_listen_replaces_dead_socket;
+        t "listen refuses a live socket" test_listen_refuses_live_socket;
         t "real socketpair round trip" test_socketpair_roundtrip;
       ] );
   ]

@@ -221,7 +221,7 @@ let test_update_serialisation () =
          ~new_s:"return acc + debug + 100;")
   in
   let { Create.update; _ } = mk_update ~from:base_tree ~to_ () in
-  let u' = Update.of_bytes (Update.to_bytes update) in
+  let u' = Update.of_bytes_exn (Update.to_bytes update) in
   check Alcotest.string "id" update.update_id u'.update_id;
   Alcotest.(check int) "helpers" (List.length update.helpers)
     (List.length u'.helpers);

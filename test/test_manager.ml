@@ -58,9 +58,9 @@ let call m img name args =
   | Ok v -> v
   | Error f -> Alcotest.failf "%s faulted: %a" name Machine.pp_fault f
 
-let mk_update ~id tree tree' =
+let mk_update ?supersedes ~id tree tree' =
   match
-    Create.create
+    Create.create ?supersedes
       { source = tree; patch = Diff.diff_trees tree tree'; update_id = id;
         description = id }
   with
@@ -251,6 +251,69 @@ let test_duplicate_submit_rejected () =
     (Invalid_argument "Manager.submit: fare already submitted") (fun () ->
       Manager.submit mgr u)
 
+(* --- supervised atomic replace --- *)
+
+let patched_fare2 tree =
+  Tree.add tree "k/t.c"
+    (replace "acc = acc + fares + 1;" "acc = acc + fares + 2;"
+       (Option.get (Tree.find tree "k/t.c")))
+
+let stack_ids mgr =
+  List.rev_map
+    (fun (a : Apply.applied) -> a.update.Ksplice.Update.update_id)
+    (Apply.applied (Manager.apply_state mgr))
+
+let stacked_manager () =
+  let tree, img, m = boot base_src in
+  let tree1 = patched_fare tree in
+  let tree2 = patched_fare2 tree1 in
+  let mgr = Manager.create ~policy:test_policy (Apply.init m) in
+  Manager.submit mgr (mk_update ~id:"fare" tree tree1);
+  Manager.submit mgr (mk_update ~id:"fare-2" tree1 tree2);
+  Manager.run mgr;
+  Alcotest.(check (list string)) "chain stacked" [ "fare"; "fare-2" ]
+    (stack_ids mgr);
+  let cum =
+    mk_update ~supersedes:[ "fare"; "fare-2" ] ~id:"fare-cum" tree tree2
+  in
+  (mgr, img, m, cum)
+
+let test_submit_cumulative_collapses () =
+  let mgr, img, m, cum = stacked_manager () in
+  Manager.submit_cumulative mgr cum;
+  Manager.run mgr;
+  (match Manager.status mgr "fare-cum" with
+   | Some Manager.Applied_healthy -> ()
+   | Some s -> Alcotest.failf "unexpected status: %a" Manager.pp_status s
+   | None -> Alcotest.fail "cumulative update not tracked");
+  Alcotest.(check (list string)) "stack collapsed" [ "fare-cum" ]
+    (stack_ids mgr);
+  Alcotest.(check int32) "cumulative behaviour" 27l (call m img "fare" [ 3l ]);
+  Alcotest.(check int) "no audit violations" 0 (Manager.violations mgr);
+  (* a non-cumulative update is rejected at submit time *)
+  let tree, _, _ = boot base_src in
+  let plain = mk_update ~id:"plain" tree (patched_fare tree) in
+  Alcotest.check_raises "supersedes nothing"
+    (Invalid_argument "Manager.submit_cumulative: plain supersedes nothing")
+    (fun () -> Manager.submit_cumulative mgr plain)
+
+let test_cumulative_health_gate_restores_stack () =
+  let mgr, img, m, cum = stacked_manager () in
+  Manager.submit_cumulative mgr cum
+    ~health:
+      [ { Manager.hc_name = "canary"; hc_probe = (fun () -> Error "died") } ];
+  Manager.run mgr;
+  (match Manager.status mgr "fare-cum" with
+   | Some (Manager.Quarantined { reverted; _ }) ->
+     Alcotest.(check bool) "auto-reverted" true reverted
+   | Some s -> Alcotest.failf "unexpected status: %a" Manager.pp_status s
+   | None -> Alcotest.fail "cumulative update not tracked");
+  Alcotest.(check (list string)) "displaced stack restored"
+    [ "fare"; "fare-2" ] (stack_ids mgr);
+  Alcotest.(check int32) "stacked behaviour back" 27l
+    (call m img "fare" [ 3l ]);
+  Alcotest.(check int) "no audit violations" 0 (Manager.violations mgr)
+
 (* --- a quick slice of the corpus-wide supervised sweep --- *)
 
 let test_manager_sweep_subset () =
@@ -289,6 +352,10 @@ let suite =
         t "health gate auto-reverts and quarantines"
           test_health_gate_auto_reverts;
         t "duplicate submit rejected" test_duplicate_submit_rejected;
+        t "supervised atomic replace collapses the stack"
+          test_submit_cumulative_collapses;
+        t "health gate restores the displaced stack"
+          test_cumulative_health_gate_restores_stack;
         t "manager sweep subset" test_manager_sweep_subset;
       ] );
   ]

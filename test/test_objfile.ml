@@ -70,7 +70,7 @@ let sample_object () =
 
 let test_serialisation_roundtrip () =
   let o = sample_object () in
-  let o' = Objfile.of_bytes (Objfile.to_bytes o) in
+  let o' = Objfile.of_bytes_exn (Objfile.to_bytes o) in
   check Alcotest.string "unit name" o.unit_name o'.unit_name;
   check Alcotest.int "sections" (List.length o.sections)
     (List.length o'.sections);
@@ -94,9 +94,14 @@ let test_file_roundtrip () =
       check bool_c "file roundtrip symbols" true (o.symbols = o'.symbols))
 
 let test_bad_magic () =
-  check bool_c "bad magic rejected" true
+  (match Objfile.of_bytes (Bytes.of_string "NOTSELF_____") with
+   | Ok _ -> Alcotest.fail "bad magic accepted"
+   | Error e ->
+     check bool_c "reason mentions magic" true
+       (String.length (Objfile.decode_error_to_string e) > 0));
+  check bool_c "exn interface raises Failure" true
     (try
-       ignore (Objfile.of_bytes (Bytes.of_string "NOTSELF_____"));
+       ignore (Objfile.of_bytes_exn (Bytes.of_string "NOTSELF_____"));
        false
      with Failure _ -> true)
 
@@ -104,10 +109,7 @@ let test_truncated_input () =
   let b = Objfile.to_bytes (sample_object ()) in
   let cut = Bytes.sub b 0 (Bytes.length b - 7) in
   check bool_c "truncated rejected" true
-    (try
-       ignore (Objfile.of_bytes cut);
-       false
-     with Failure _ -> true)
+    (Result.is_error (Objfile.of_bytes cut))
 
 let test_queries () =
   let o = sample_object () in
@@ -147,19 +149,31 @@ let test_kind_of_name () =
   check bool_c "ksplice note" true
     (Section.kind_of_name ".ksplice.apply" = Section.Note)
 
-(* Fuzz: arbitrary bytes must never crash the reader — only [Failure]. *)
+(* Fuzz: decoding is total — arbitrary bytes yield [Ok] or [Error],
+   never any exception at all. *)
 let prop_of_bytes_total =
   let open QCheck2.Gen in
   QCheck2.Test.make ~name:"of_bytes is total on garbage" ~count:300
     (string_size (int_range 0 200))
     (fun junk ->
       match Objfile.of_bytes (Bytes.of_string junk) with
-      | _ -> true
-      | exception Failure _ -> true
+      | Ok _ | Error _ -> true
       | exception _ -> false)
 
+(* Every truncated prefix of a valid image is an [Error] (the full image
+   is the only prefix that parses), with no exception escaping. *)
+let test_every_prefix_rejected () =
+  let b = Objfile.to_bytes (sample_object ()) in
+  for n = 0 to Bytes.length b - 1 do
+    match Objfile.of_bytes (Bytes.sub b 0 n) with
+    | Ok _ -> Alcotest.failf "prefix of %d bytes parsed" n
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "prefix of %d bytes raised %s" n (Printexc.to_string e)
+  done
+
 (* Fuzz: bit-flipping a valid image is either rejected or parses into
-   *some* object (never crashes). *)
+   *some* object (never raises). *)
 let prop_bitflip_total =
   let open QCheck2.Gen in
   QCheck2.Test.make ~name:"of_bytes is total under bit flips" ~count:300
@@ -169,8 +183,7 @@ let prop_bitflip_total =
       let pos = pos mod Bytes.length b in
       Bytes.set_uint8 b pos (Bytes.get_uint8 b pos lxor (1 lsl bit));
       match Objfile.of_bytes b with
-      | _ -> true
-      | exception Failure _ -> true
+      | Ok _ | Error _ -> true
       | exception _ -> false)
 
 let suite =
@@ -192,6 +205,8 @@ let suite =
           test_section_equal_contents;
         Alcotest.test_case "kind_of_name" `Quick test_kind_of_name;
         QCheck_alcotest.to_alcotest prop_of_bytes_total;
+        Alcotest.test_case "every truncated prefix rejected" `Quick
+          test_every_prefix_rejected;
         QCheck_alcotest.to_alcotest prop_bitflip_total;
       ] );
   ]

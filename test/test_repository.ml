@@ -219,6 +219,92 @@ let test_bitflipped_entry () =
       spit path (Bytes.to_string raw);
       check_degrades_gracefully dir ~base_digest:e1.base_digest)
 
+(* --- cumulative entries: one-hop atomic replace beside the chain --- *)
+
+let collapse repo =
+  ok "collapse"
+    (Repo.publish_cumulative repo ~source:base_tree ~update_id:"cum-1"
+       ~description:"collapse of hop-1 and hop-2")
+
+let test_publish_cumulative () =
+  with_repo (fun _dir repo ->
+      let _ = publish_chain repo in
+      let e = collapse repo in
+      Alcotest.(check (list string))
+        "supersedes the chain, oldest first" [ "hop-1"; "hop-2" ]
+        e.update.Ksplice.Update.supersedes;
+      Alcotest.(check string) "one hop to the chain head"
+        (Tree.digest tree2) e.next_digest;
+      (* the per-update chain stays intact for mid-chain subscribers *)
+      Alcotest.(check int) "chain preserved" 2
+        (List.length (pending repo ~digest:(Tree.digest base_tree)));
+      (match
+         Repo.publish_cumulative repo ~source:base_tree ~update_id:"cum-2"
+           ~description:"again"
+       with
+      | Error (Repo.Already_published d) ->
+        Alcotest.(check string) "names the digest" (Tree.digest base_tree) d
+      | Ok _ -> Alcotest.fail "expected Already_published"
+      | Error e -> Alcotest.failf "unexpected error: %a" Repo.pp_error e);
+      (* nothing pending at the head: nothing to collapse *)
+      match
+        Repo.publish_cumulative repo ~source:tree2 ~update_id:"cum-3"
+          ~description:"empty"
+      with
+      | Error (Repo.Patch_rejected _) -> ()
+      | Ok _ -> Alcotest.fail "expected Patch_rejected"
+      | Error e -> Alcotest.failf "unexpected error: %a" Repo.pp_error e)
+
+let test_sync_prefers_cumulative () =
+  with_repo (fun _dir repo ->
+      let _ = publish_chain repo in
+      let _ = collapse repo in
+      let mgr, call = boot_base () in
+      Alcotest.(check int32) "before sync" 4l (call ());
+      (match Repo.sync repo mgr ~source:base_tree with
+       | Ok r ->
+         Alcotest.(check (list string))
+           "one cumulative hop instead of the walk" [ "cum-1" ] r.applied;
+         Alcotest.(check string) "source advanced to the head"
+           (Tree.digest tree2)
+           (Tree.digest r.new_source)
+       | Error e -> Alcotest.failf "sync: %a" Repo.pp_error e);
+      Alcotest.(check int32) "patched" 8l (call ());
+      (* fsck covers the cumulative ref alongside the chain *)
+      match Repo.fsck repo with
+      | Ok r -> Alcotest.(check int) "three entries checked" 3 r.entries_checked
+      | Error _ -> Alcotest.fail "fsck of a healthy repository failed")
+
+let test_corrupt_cumulative_degrades () =
+  with_repo (fun dir repo ->
+      let _ = publish_chain repo in
+      let e = collapse repo in
+      let blob =
+        match
+          Store.find_ref (Repo.store repo) ("cumulative:" ^ e.base_digest)
+        with
+        | Some d -> d
+        | None -> Alcotest.fail "collapse has no cumulative ref"
+      in
+      let path = Filename.concat (Filename.concat dir "blobs") blob in
+      let raw = slurp path in
+      spit path (String.sub raw 0 (String.length raw / 2));
+      let repo2 = ok "reopen" (Repo.open_dir ~share:false dir) in
+      (* the damage surfaces as a typed error, and the machine under a
+         syncing manager is never touched *)
+      let mgr, call = boot_base () in
+      (match Repo.sync repo2 mgr ~source:base_tree with
+      | Error (Repo.Corrupt_entry _) -> ()
+      | Ok _ -> Alcotest.fail "expected Corrupt_entry from sync"
+      | Error e -> Alcotest.failf "unexpected error: %a" Repo.pp_error e);
+      Alcotest.(check int32) "machine untouched" 4l (call ());
+      match Repo.fsck repo2 with
+      | Ok _ -> Alcotest.fail "fsck missed the corrupt cumulative entry"
+      | Error r ->
+        Alcotest.(check bool) "fsck names the entry" true
+          (List.exists (fun (d, _) -> String.equal d e.base_digest)
+             r.corrupt_entries))
+
 let suite =
   [
     ( "repository",
@@ -229,5 +315,9 @@ let suite =
         t "entry roundtrip" test_entry_roundtrip_on_disk;
         t "truncated entry degrades gracefully" test_truncated_entry;
         t "bit-flipped entry degrades gracefully" test_bitflipped_entry;
+        t "publish cumulative" test_publish_cumulative;
+        t "sync prefers the cumulative hop" test_sync_prefers_cumulative;
+        t "corrupt cumulative degrades gracefully"
+          test_corrupt_cumulative_degrades;
       ] );
   ]

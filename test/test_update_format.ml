@@ -25,7 +25,7 @@ let corpus_updates =
 let test_roundtrip_all () =
   List.iter
     (fun (u : Update.t) ->
-      let u' = Update.of_bytes (Update.to_bytes u) in
+      let u' = Update.of_bytes_exn (Update.to_bytes u) in
       Alcotest.(check string) (u.update_id ^ " id") u.update_id u'.update_id;
       Alcotest.(check bool)
         (u.update_id ^ " replaced functions")
@@ -57,10 +57,7 @@ let test_corruption_rejected () =
       Alcotest.(check bool)
         (Printf.sprintf "corruption %d rejected" i)
         true
-        (try
-           ignore (Update.of_bytes b);
-           false
-         with Failure _ -> true))
+        (Result.is_error (Update.of_bytes b)))
     cases
 
 let test_deserialised_update_applies () =
@@ -69,7 +66,7 @@ let test_deserialised_update_applies () =
       (fun (u : Update.t) -> u.update_id = "CVE-2006-2451")
       (Lazy.force corpus_updates)
   in
-  let u' = Update.of_bytes (Update.to_bytes u) in
+  let u' = Update.of_bytes_exn (Update.to_bytes u) in
   let b = Corpus.Boot.boot () in
   let mgr = Apply.init b.machine in
   (match Apply.apply mgr u' with
@@ -87,7 +84,8 @@ let test_store_roundtrip_all () =
     (fun (u : Update.t) ->
       let b = Update.to_bytes_store store u in
       match Update.of_bytes_store store b with
-      | Error m -> Alcotest.failf "%s: %s" u.update_id m
+      | Error e ->
+        Alcotest.failf "%s: %s" u.update_id (Update.decode_error_to_string e)
       | Ok u' ->
         Alcotest.(check string) (u.update_id ^ " id") u.update_id u'.update_id;
         Alcotest.(check bool)
@@ -119,15 +117,18 @@ let test_legacy_readable_by_store_reader () =
   let u = List.hd (Lazy.force corpus_updates) in
   match Update.of_bytes_store store (Update.to_bytes u) with
   | Ok u' -> Alcotest.(check string) "id" u.update_id u'.update_id
-  | Error m -> Alcotest.failf "KSPL1 must stay readable: %s" m
+  | Error e ->
+    Alcotest.failf "KSPL1 must stay readable: %s"
+      (Update.decode_error_to_string e)
 
 let test_plain_reader_refuses_kspl2 () =
   let store = Store.create ~name:"upd-refuse" () in
   let u = List.hd (Lazy.force corpus_updates) in
   let b = Update.to_bytes_store store u in
   (match Update.of_bytes b with
-  | _ -> Alcotest.fail "of_bytes must refuse KSPL2"
-  | exception Failure m ->
+  | Ok _ -> Alcotest.fail "of_bytes must refuse KSPL2"
+  | Error e ->
+    let m = Update.decode_error_to_string e in
     let needle = "of_bytes_store" in
     let rec has i =
       i + String.length needle <= String.length m
@@ -139,6 +140,110 @@ let test_plain_reader_refuses_kspl2 () =
   match Update.of_bytes_store empty b with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected a missing-blob error"
+
+(* --- cumulative (KSPL3) serialisation --- *)
+
+let cumulative_of (u : Update.t) =
+  { u with
+    Update.supersedes = [ "CVE-a"; "CVE-b" ];
+    shadow_ctors = [ "ctor@kernel/x.c" ];
+    shadow_dtors = [ "dtor@kernel/x.c" ] }
+
+let test_ordinary_stays_kspl2 () =
+  (* byte-stability: an update without cumulative records must encode
+     exactly as before KSPL3 existed *)
+  let store = Store.create ~name:"upd-k2" () in
+  let u = List.hd (Lazy.force corpus_updates) in
+  let b = Update.to_bytes_store store u in
+  Alcotest.(check string) "magic" "KSPL2" (Bytes.sub_string b 0 5);
+  Alcotest.(check bool) "not cumulative" false (Update.is_cumulative u);
+  Alcotest.(check (list string)) "supersedes nothing" []
+    (Update.supersedes_of_bytes b)
+
+let test_kspl3_roundtrip () =
+  let store = Store.create ~name:"upd-k3" () in
+  let u = cumulative_of (List.hd (Lazy.force corpus_updates)) in
+  let b = Update.to_bytes_store store u in
+  Alcotest.(check string) "magic" "KSPL3" (Bytes.sub_string b 0 5);
+  Alcotest.(check (list string)) "supersedes from bytes alone"
+    u.supersedes (Update.supersedes_of_bytes b);
+  match Update.of_bytes_store store b with
+  | Error e -> Alcotest.fail (Update.decode_error_to_string e)
+  | Ok u' ->
+    Alcotest.(check bool) "cumulative" true (Update.is_cumulative u');
+    Alcotest.(check (list string)) "supersedes" u.supersedes u'.supersedes;
+    Alcotest.(check (list string)) "ctors" u.shadow_ctors u'.shadow_ctors;
+    Alcotest.(check (list string)) "dtors" u.shadow_dtors u'.shadow_dtors;
+    Alcotest.(check bool) "primary bytes" true
+      (Bytes.equal (Objfile.to_bytes u.primary) (Objfile.to_bytes u'.primary))
+
+let test_kspl1_roundtrips_cumulative_fields () =
+  let u = cumulative_of (List.hd (Lazy.force corpus_updates)) in
+  let u' = Update.of_bytes_exn (Update.to_bytes u) in
+  Alcotest.(check (list string)) "supersedes" u.supersedes u'.supersedes;
+  Alcotest.(check (list string)) "ctors" u.shadow_ctors u'.shadow_ctors;
+  Alcotest.(check (list string)) "dtors" u.shadow_dtors u'.shadow_dtors
+
+(* --- decoder totality: no exception reachable from arbitrary bytes ---
+
+   Every truncated prefix and every single-byte flip of a valid blob —
+   self-contained KSPL1, store-backed KSPL2, cumulative KSPL3 — must
+   yield [Ok] or [Error], never raise. *)
+
+let blobs =
+  lazy
+    (let store = Store.create ~name:"upd-total" () in
+     let u = List.hd (Lazy.force corpus_updates) in
+     let cu = cumulative_of u in
+     [ ("KSPL1", Update.to_bytes u, `Plain);
+       ("KSPL2", Update.to_bytes_store store u, `Store store);
+       ("KSPL3", Update.to_bytes_store store cu, `Store store) ])
+
+let decode_total (b : Bytes.t) = function
+  | `Plain -> (
+    match Update.of_bytes b with
+    | Ok _ -> `Ok
+    | Error _ -> `Error
+    | exception e -> `Raised e)
+  | `Store store -> (
+    match Update.of_bytes_store store b with
+    | Ok _ -> `Ok
+    | Error _ -> `Error
+    | exception e -> `Raised e)
+
+let test_every_prefix_rejected () =
+  List.iter
+    (fun (fmt, b, how) ->
+      for n = 0 to Bytes.length b - 1 do
+        match decode_total (Bytes.sub b 0 n) how with
+        | `Error -> ()
+        | `Ok -> Alcotest.failf "%s: prefix of %d bytes parsed" fmt n
+        | `Raised e ->
+          Alcotest.failf "%s: prefix of %d bytes raised %s" fmt n
+            (Printexc.to_string e)
+      done;
+      (* supersedes_of_bytes shares the totality guarantee *)
+      for n = 0 to Bytes.length b - 1 do
+        ignore (Update.supersedes_of_bytes (Bytes.sub b 0 n) : string list)
+      done)
+    (Lazy.force blobs)
+
+let prop_byte_flip_total =
+  let open QCheck2.Gen in
+  QCheck2.Test.make ~name:"update decode is total under byte flips"
+    ~count:600
+    (tup3 (int_range 0 2) (int_range 0 100_000) (int_range 1 255))
+    (fun (which, pos, flip) ->
+      let _, b, how = List.nth (Lazy.force blobs) which in
+      let b = Bytes.copy b in
+      let pos = pos mod Bytes.length b in
+      Bytes.set_uint8 b pos (Bytes.get_uint8 b pos lxor flip);
+      match decode_total b how with
+      | `Ok | `Error ->
+        (match Update.supersedes_of_bytes b with
+         | (_ : string list) -> true
+         | exception _ -> false)
+      | `Raised _ -> false)
 
 let suite =
   [
@@ -152,5 +257,12 @@ let suite =
         t "legacy KSPL1 readable by store reader"
           test_legacy_readable_by_store_reader;
         t "plain reader refuses KSPL2" test_plain_reader_refuses_kspl2;
+        t "ordinary update stays byte-identical KSPL2"
+          test_ordinary_stays_kspl2;
+        t "cumulative roundtrip (KSPL3)" test_kspl3_roundtrip;
+        t "KSPL1 carries cumulative fields"
+          test_kspl1_roundtrips_cumulative_fields;
+        t "every truncated prefix rejected" test_every_prefix_rejected;
+        QCheck_alcotest.to_alcotest prop_byte_flip_total;
       ] );
   ]
