@@ -604,6 +604,12 @@ type store_outcome = {
   st_skipped : int;
   st_dedup_ratio : float;
   st_bytes_saved : int;
+  st_diff_bytes_saved : int;
+      (* update bytes the minimal differencing avoids shipping,
+         vs the whole-unit baseline over the same CVEs *)
+  st_skipped_syms : int;
+      (* defined primary symbols the whole-unit baseline would ship
+         that the minimal updates leave home *)
 }
 
 let store_result : store_outcome option ref = ref None
@@ -611,19 +617,24 @@ let store_result : store_outcome option ref = ref None
 let store_sweep ?(cves = Corpus.Cve.all) () =
   section "Store sweep: cold vs warm creation through one shared store";
   let shared = Store.create ~name:"bench" ~capacity:16384 () in
-  let create_all () =
+  let create_updates ?minimal () =
     List.map
       (fun (cve : Corpus.Cve.t) ->
         match
-          Create.create ~store:shared
+          Create.create ?minimal ~store:shared
             { source = base; patch = Corpus.Cve.hot_patch cve base;
               update_id = cve.id; description = cve.desc }
         with
-        | Ok c -> Bytes.to_string (Update.to_bytes c.update)
+        | Ok c -> c.Create.update
         | Error e ->
           Format.kasprintf failwith "%s: store sweep create failed: %a" cve.id
             Create.pp_error e)
       cves
+  in
+  let create_all () =
+    List.map
+      (fun u -> Bytes.to_string (Update.to_bytes u))
+      (create_updates ())
   in
   (* cold: empty compile cache, empty store — every unit compiles and
      every patched unit is differenced *)
@@ -640,6 +651,18 @@ let store_sweep ?(cves = Corpus.Cve.all) () =
   let warm_t = now () -. t0 in
   let skipped = Create.skipped_units () in
   let identical = cold_ups = warm_ups in
+  (* the minimal-differencing dividend over the same store: what the
+     whole-unit baseline would have shipped beyond the minimal carve *)
+  let minimal_ups = create_updates () in
+  let whole_ups = create_updates ~minimal:false () in
+  let usize (u : Update.t) = Bytes.length (Update.to_bytes u) in
+  let defined (u : Update.t) =
+    List.length
+      (List.filter Objfile.Symbol.is_defined u.primary.Objfile.symbols)
+  in
+  let sum f l = List.fold_left (fun a u -> a + f u) 0 l in
+  let diff_bytes_saved = sum usize whole_ups - sum usize minimal_ups in
+  let skipped_syms = sum defined whole_ups - sum defined minimal_ups in
   let st = Store.stats shared in
   let dedup_ratio =
     if st.Store.puts = 0 then 0.0
@@ -650,7 +673,9 @@ let store_sweep ?(cves = Corpus.Cve.all) () =
       { st_cves = List.length cves; st_cold_s = cold_t; st_warm_s = warm_t;
         st_identical = identical; st_skipped = skipped;
         st_dedup_ratio = dedup_ratio;
-        st_bytes_saved = st.Store.bytes_deduped };
+        st_bytes_saved = st.Store.bytes_deduped;
+        st_diff_bytes_saved = diff_bytes_saved;
+        st_skipped_syms = skipped_syms };
   Printf.printf "CVEs:                %d\n" (List.length cves);
   Printf.printf "cold wall:           %8.3f s\n" cold_t;
   Printf.printf "warm wall:           %8.3f s\n" warm_t;
@@ -660,11 +685,46 @@ let store_sweep ?(cves = Corpus.Cve.all) () =
     st.Store.puts st.Store.dedup_hits dedup_ratio;
   Printf.printf "bytes interned:      %8d  (saved by dedup: %d)\n"
     st.Store.bytes_put st.Store.bytes_deduped;
+  Printf.printf "minimal diffs:       %8d update bytes saved, %d symbols \
+                 left home (vs whole-unit)\n"
+    diff_bytes_saved skipped_syms;
   Printf.printf "identical updates from both passes: %b\n" identical;
   if not identical then
     print_endline "*** WARM CREATION DIVERGED FROM COLD ***";
   if skipped = 0 then
     print_endline "*** WARM PASS SKIPPED NO UNITS: incremental path dead ***"
+
+(* ---------- DF: function-granular vs whole-unit differencing ---------- *)
+
+let differencing_result : Corpus.Sweep.dm_report option ref = ref None
+
+let differencing_sweep ?cves () =
+  section "Differencing sweep: minimal vs whole-unit updates";
+  let r = Corpus.Sweep.run_diffmin ?cves ~domains:(par_domains ()) () in
+  differencing_result := Some r;
+  Printf.printf "rows:                %6d\n" (List.length r.dm_rows);
+  Printf.printf "update bytes:        %8d minimal vs %8d whole-unit \
+                 (%.0f%% saved)\n"
+    r.dm_bytes_min r.dm_bytes_whole
+    (100.
+    *. (1. -. (float_of_int r.dm_bytes_min /. float_of_int r.dm_bytes_whole))
+    );
+  Printf.printf "run-pre trials:      %8d minimal vs %8d whole-unit\n"
+    r.dm_trials_min r.dm_trials_whole;
+  Printf.printf
+    "demos:               %d closure, %d data-referent, %d data-init \
+     refusals\n"
+    r.dm_closure_demos r.dm_dataref_demos r.dm_persist_rejects;
+  Printf.printf "violations:          %6d\n" r.dm_violations;
+  if not (Corpus.Sweep.diffmin_ok r) then begin
+    List.iter
+      (fun (row : Corpus.Sweep.dmrow) ->
+        List.iter
+          (fun m -> Printf.printf "VIOLATION %s: %s\n" row.dm_cve m)
+          row.dm_notes)
+      r.dm_rows;
+    print_endline "*** MINIMAL DIFFERENCING SWEEP FAILED ***"
+  end
 
 (* ---------- TR: tracing overhead and byte identity ---------- *)
 
@@ -1392,6 +1452,25 @@ let emit_bench_json ~mode () =
                 ("skipped_units", num s.st_skipped);
                 ("dedup_ratio", Num s.st_dedup_ratio);
                 ("bytes_saved", num s.st_bytes_saved);
+                ("diff_bytes_saved", num s.st_diff_bytes_saved);
+                ("skipped_symbols", num s.st_skipped_syms);
+              ] );
+        ( "differencing",
+          match !differencing_result with
+          | None -> Null
+          | Some r ->
+            Obj
+              [
+                ("rows", num (List.length r.dm_rows));
+                ("bytes_min", num r.dm_bytes_min);
+                ("bytes_whole", num r.dm_bytes_whole);
+                ("trials_min", num r.dm_trials_min);
+                ("trials_whole", num r.dm_trials_whole);
+                ("closure_demos", num r.dm_closure_demos);
+                ("dataref_demos", num r.dm_dataref_demos);
+                ("persist_rejects", num r.dm_persist_rejects);
+                ("violations", num r.dm_violations);
+                ("ok", Bool (Corpus.Sweep.diffmin_ok r));
               ] );
         ( "trace",
           match !trace_result with
@@ -1535,6 +1614,8 @@ let () =
     timed "consequences" consequences;
     timed "creation_sweep" (fun () -> creation_sweep ~cves:quick_cves ());
     timed "store_sweep" (fun () -> store_sweep ~cves:quick_cves ());
+    timed "differencing_sweep" (fun () ->
+        differencing_sweep ~cves:(quick_cves @ Corpus.Cve.diff_extras) ());
     timed "manager_sweep" (fun () ->
         manager_sweep ~cves:(List.filteri (fun i _ -> i < 4) quick_cves) ());
     timed "trace_overhead" (fun () -> trace_overhead ~cves:quick_cves ());
@@ -1562,6 +1643,7 @@ let () =
     timed "manager_sweep" (fun () -> manager_sweep ());
     timed "creation_sweep" (fun () -> creation_sweep ());
     timed "store_sweep" (fun () -> store_sweep ());
+    timed "differencing_sweep" (fun () -> differencing_sweep ());
     timed "trace_overhead" (fun () -> trace_overhead ());
     timed "crash_sweep" (fun () -> crash_sweep ());
     timed "transition_sweep" (fun () -> transition_sweep ());

@@ -72,7 +72,7 @@ let () =
 
   (* 3. ksplice-create: build pre and post with function sections and
      diff the object code *)
-  let { Create.update; diffs } =
+  let { Create.update; diffs; _ } =
     match
       Create.create
         { source = tree; patch; update_id = "quickstart-1";

@@ -24,6 +24,14 @@ type inference = (string, int) Hashtbl.t
 
 let create_inference () : inference = Hashtbl.create 64
 
+(* candidate trials since the last reset, kept as a plain atomic (the
+   [runpre.match_attempts] trace counter only records under an enabled
+   trace): the differencing bench and minimality sweep read this to show
+   how much run-pre work a minimal update saves *)
+let attempts = Atomic.make 0
+let match_attempts () = Atomic.get attempts
+let reset_match_attempts () = Atomic.set attempts 0
+
 type tolerance = {
   skip_nops : bool;
   jump_equivalence : bool;
@@ -312,6 +320,7 @@ let match_helper ?(tolerance = full_tolerance) ~read_run ~candidates
   let try_candidates p cands =
     List.filter_map
       (fun addr ->
+        Atomic.incr attempts;
         Trace.count "runpre.match_attempts" 1;
         let trial = { committed = inference; overlay = Hashtbl.create 16 } in
         match

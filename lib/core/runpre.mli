@@ -43,6 +43,20 @@ type inference = (string, int) Hashtbl.t
 
 val create_inference : unit -> inference
 
+(** Candidate trials (one per [match_text] attempt against a candidate
+    address) since the last {!reset_match_attempts} — the denominator the
+    differencing bench and minimality sweep compare minimal updates
+    against whole-unit ones on. Also mirrored as the
+    [runpre.match_attempts] trace counter when tracing is enabled. *)
+val match_attempts : unit -> int
+
+val reset_match_attempts : unit -> unit
+
+(** [with_imm i v] replaces the immediate operand of an
+    immediate-carrying instruction (the §4 relocation-hole positions).
+    @raise Invalid_argument when [i] has no immediate field. *)
+val with_imm : Vmisa.Isa.insn -> int32 -> Vmisa.Isa.insn
+
 (** Matcher capabilities, for ablation experiments. Disabling either
     models a naive matcher and demonstrates why §4.3 requires
     architecture knowledge: [skip_nops] absorbs assembler alignment

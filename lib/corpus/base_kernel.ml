@@ -1101,10 +1101,31 @@ static int clamp_nonneg(int v) {
 int worker_status() { return clamp_nonneg(work_done * worker_generation); }
 |}
 
+let banner_c =
+  {|/* boot banner: a version string and its checksum, cached in a global.
+   The checksum is state DERIVED from read-only data: when an update
+   replaces the string it must also refresh the cache (via an apply
+   hook), even though banner_csum's own code never changes. */
+int banner_sum = 0;
+
+int banner_csum() {
+  char *b = "ksp 1.0 [debug keys on]";
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; b[i] != 0; i = i + 1)
+    s = s + b[i];
+  return s;
+}
+
+void banner_refresh() { banner_sum = banner_csum(); }
+|}
+
 let tree () =
   Patchfmt.Source_tree.of_list
     [
       ("kernel/entry.s", entry_s);
+      ("kernel/banner.c", banner_c);
       ("kernel/init.c", init_c);
       ("kernel/creds.c", creds_c);
       ("kernel/pipe.c", pipe_c);
@@ -1135,4 +1156,4 @@ let tree () =
 (* init functions the boot sequence calls, in order *)
 let init_functions =
   [ "kernel_init"; "fs_init"; "sock_init"; "keyring_init"; "quota_init";
-    "random_mix_all" ]
+    "random_mix_all"; "banner_refresh" ]

@@ -1,10 +1,14 @@
 type consequence = Priv_escalation | Info_disclosure
 
-type custom_reason = Changes_data_init | Adds_struct_field
+type custom_reason =
+  | Changes_data_init
+  | Adds_struct_field
+  | Updates_derived_state
 
 let reason_to_string = function
   | Changes_data_init -> "changes data init"
   | Adds_struct_field -> "adds field to struct"
+  | Updates_derived_state -> "updates derived state"
 
 type t = {
   id : string;
@@ -880,12 +884,47 @@ ksplice_shadow_dtor(key_detach_revoke_shadows);
 
 let shadow_extras = [ shadow_fs_owner; shadow_key_revoke ]
 
+(* ===== differencing extras =====
+
+   Not part of the paper's 64-CVE corpus: rows the minimal-differencing
+   sweep uses to demonstrate data-referent detection and closure
+   shipping end to end. The banner fix replaces a string literal —
+   [banner_csum]'s instruction stream is untouched, but its relocation
+   now points at fresh read-only data, so the function must ship as a
+   data referent, the new string slice rides along by closure, and the
+   cached checksum (state {e derived} from the string) is refreshed by
+   an apply hook through the trampolined function. *)
+
+let banner_old = "ksp 1.0 [debug keys on]"
+let banner_new = "ksp 1.0 [secured]"
+
+let diff_banner =
+  mk "DIFF-2009-0001" "kernel/banner.c"
+    "the boot banner discloses that debug keys are enabled; the fix \
+     replaces the string, leaving banner_csum's code unchanged but \
+     moving its relocation onto fresh read-only data, and the cached \
+     checksum must be recomputed at apply time"
+    Info_disclosure
+    ~custom:
+      (Updates_derived_state,
+       {|
+void banner_apply_refresh() { banner_refresh(); }
+
+ksplice_apply(banner_apply_refresh);
+|})
+    [ ( "char *b = \"ksp 1.0 [debug keys on]\";",
+        "char *b = \"ksp 1.0 [secured]\";" ) ]
+
+let diff_extras = [ diff_banner ]
+
 let all =
   [ cve_entry_signed; cve_prctl; cve_vmsplice; cve_proc_leak; cve_dst_ca ]
   @ small_inlined @ small_other @ medium @ large @ customs
 
 let find id =
-  List.find_opt (fun c -> String.equal c.id id) (all @ shadow_extras)
+  List.find_opt
+    (fun c -> String.equal c.id id)
+    (all @ shadow_extras @ diff_extras)
 
 (* --- tree construction --- *)
 

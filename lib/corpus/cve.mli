@@ -7,7 +7,12 @@
 
 type consequence = Priv_escalation | Info_disclosure
 
-type custom_reason = Changes_data_init | Adds_struct_field
+type custom_reason =
+  | Changes_data_init
+  | Adds_struct_field
+  | Updates_derived_state
+      (** state computed from read-only data the patch replaces — the
+          update refreshes the cache via an apply hook *)
 
 val reason_to_string : custom_reason -> string
 
@@ -31,6 +36,23 @@ val all : t list
     [ksplice_shadow_ctor]/[ksplice_shadow_dtor] hooks. Exercised by the
     cumulative-update sweep. *)
 val shadow_extras : t list
+
+(** Differencing extras, likewise kept out of {!all}: corpus rows built
+    to demonstrate the minimal-differencing engine's data-referent and
+    closure passes. {!diff_banner} replaces a string literal — the
+    reading function's code is byte-identical yet must ship (its
+    relocation moved to fresh read-only data), and the derived checksum
+    cache is refreshed by an apply hook. *)
+val diff_extras : t list
+
+val diff_banner : t
+
+(** The banner string before/after {!diff_banner} — the sweep computes
+    the expected checksum of [banner_new] to verify the refresh ran
+    through the trampolined function. *)
+val banner_old : string
+
+val banner_new : string
 
 val find : string -> t option
 

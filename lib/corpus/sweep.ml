@@ -1775,3 +1775,289 @@ let pp_cumulative ppf r =
       "every collapse landed footprint-identical to its plain twin, every \
        fault rolled back to the stacked machine, and the shadow round \
        trips ran their ctors and dtors@\n"
+
+(* ---------- the minimal-differencing sweep ----------
+
+   For every corpus CVE (plus the shadow and differencing extras) build
+   the update twice — function-granular minimal and whole-unit baseline
+   — and prove the minimal one is complete (applies, verifies, survives
+   stress, blocks the exploit, lands a deterministic footprint) while
+   measuring what minimality buys: update bytes and run-pre candidate
+   trials. *)
+
+type dmrow = {
+  dm_cve : string;
+  dm_min_bytes : int;
+  dm_whole_bytes : int;
+  dm_min_syms : int;  (** defined symbols shipped in the minimal primary *)
+  dm_whole_syms : int;
+  dm_min_trials : int;  (** run-pre candidate trials during apply *)
+  dm_whole_trials : int;
+  dm_closure : bool;  (** some symbol shipped by dependency closure *)
+  dm_data_ref : bool;  (** some function shipped as a data referent *)
+  dm_notes : string list;  (** violations; [[]] = row passed *)
+}
+
+type dm_report = {
+  dm_rows : dmrow list;
+  dm_bytes_min : int;
+  dm_bytes_whole : int;
+  dm_trials_min : int;
+  dm_trials_whole : int;
+  dm_closure_demos : int;
+  dm_dataref_demos : int;
+  dm_persist_rejects : int;
+      (** Table-1 mainline patches refused as [Data_semantics_changed] *)
+  dm_violations : int;
+}
+
+let defined_syms (o : Objfile.t) =
+  List.length (List.filter Objfile.Symbol.is_defined o.Objfile.symbols)
+
+let update_size (u : Ksplice.Update.t) =
+  Bytes.length (Ksplice.Update.to_bytes u)
+
+(* the run-pre trial counter is process-global: applies that are being
+   measured take this lock so concurrent rows cannot bleed into each
+   other's deltas *)
+let dm_trials_mutex = Mutex.create ()
+
+let dm_measured_apply update =
+  Mutex.lock dm_trials_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock dm_trials_mutex)
+    (fun () ->
+      let b = Boot.boot () in
+      let mgr = Apply.init b.machine in
+      Ksplice.Runpre.reset_match_attempts ();
+      let r = Apply.apply mgr update in
+      let trials = Ksplice.Runpre.match_attempts () in
+      (b, mgr, r, trials))
+
+let expected_banner_sum s =
+  Int32.of_int (String.fold_left (fun a c -> a + Char.code c) 0 s)
+
+let run_dmrow (cve : Cve.t) base =
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := !notes @ [ s ]) fmt in
+  let patch = Cve.hot_patch cve base in
+  let req =
+    { Create.source = base; patch; update_id = cve.id;
+      description = cve.desc }
+  in
+  let cmin, cwhole =
+    match (Create.create req, Create.create ~minimal:false req) with
+    | Ok a, Ok b -> (Some a, Some b)
+    | Error e, _ ->
+      note "minimal create failed: %a" Create.pp_error e;
+      (None, None)
+    | _, Error e ->
+      note "whole-unit create failed: %a" Create.pp_error e;
+      (None, None)
+  in
+  match (cmin, cwhole) with
+  | Some cmin, Some cwhole ->
+    (* completeness of the explanation: every defined primary symbol
+       must carry an inclusion reason *)
+    let reasons = Create.shipped_symbols cmin in
+    List.iter
+      (fun (sym : Objfile.Symbol.t) ->
+        if Objfile.Symbol.is_defined sym
+           && not (List.mem_assoc sym.name reasons)
+        then note "shipped symbol %s has no inclusion reason" sym.name)
+      cmin.Create.update.primary.symbols;
+    let has_reason p =
+      List.exists (fun (_, (_, r)) -> p r) reasons
+    in
+    let dm_closure =
+      has_reason (function Ksplice.Prepost.Closure_of _ -> true | _ -> false)
+    in
+    let dm_data_ref =
+      has_reason (function
+        | Ksplice.Prepost.Data_referent _ -> true
+        | _ -> false)
+    in
+    (* minimal apply: measured, then proven complete *)
+    let b, mgr, rmin, min_trials = dm_measured_apply cmin.Create.update in
+    (match rmin with
+     | Error e -> note "minimal apply failed: %s" (err_str e)
+     | Ok _ -> (
+       (match Apply.verify mgr with
+        | Ok () -> ()
+        | Error e -> note "minimal apply did not verify: %s" (err_str e));
+       let r = Stress.run b ~threads:2 ~iterations:5 in
+       if not r.ok then
+         note "stress on minimal apply: %s" (String.concat "; " r.failures);
+       (match Exploits.find cve.id with
+        | None -> ()
+        | Some ex ->
+          let o = ex.run b in
+          if o.succeeded then
+            note "exploit %s survives the minimal update: %s" ex.name
+              o.detail);
+       if String.equal cve.id Cve.diff_banner.id then begin
+         let got = Boot.read_global b "banner_sum" in
+         let want = expected_banner_sum Cve.banner_new in
+         if not (Int32.equal got want) then
+           note "banner_sum %ld after refresh, expected %ld" got want
+       end;
+       (* twin determinism: the same minimal update on a second fresh
+          boot must land a byte-identical footprint *)
+       let _, mgr2, rmin2, _ = dm_measured_apply cmin.Create.update in
+       (match rmin2 with
+        | Error e -> note "twin minimal apply failed: %s" (err_str e)
+        | Ok _ ->
+          if not (String.equal (Apply.footprint mgr) (Apply.footprint mgr2))
+          then note "minimal apply footprint is not deterministic")));
+    (* whole-unit twin: must also work, and cost at least as much *)
+    let _, mgrw, rwhole, whole_trials =
+      dm_measured_apply cwhole.Create.update
+    in
+    (match rwhole with
+     | Error e -> note "whole-unit apply failed: %s" (err_str e)
+     | Ok _ -> (
+       match Apply.verify mgrw with
+       | Ok () -> ()
+       | Error e -> note "whole-unit apply did not verify: %s" (err_str e)));
+    let dm_min_bytes = update_size cmin.Create.update in
+    let dm_whole_bytes = update_size cwhole.Create.update in
+    if dm_min_bytes > dm_whole_bytes then
+      note "minimal update larger than whole-unit (%d > %d)" dm_min_bytes
+        dm_whole_bytes;
+    if min_trials > whole_trials then
+      note "minimal apply tried more candidates (%d > %d)" min_trials
+        whole_trials;
+    {
+      dm_cve = cve.id;
+      dm_min_bytes;
+      dm_whole_bytes;
+      dm_min_syms = defined_syms cmin.Create.update.primary;
+      dm_whole_syms = defined_syms cwhole.Create.update.primary;
+      dm_min_trials = min_trials;
+      dm_whole_trials = whole_trials;
+      dm_closure;
+      dm_data_ref;
+      dm_notes = !notes;
+    }
+  | _ ->
+    {
+      dm_cve = cve.id;
+      dm_min_bytes = 0;
+      dm_whole_bytes = 0;
+      dm_min_syms = 0;
+      dm_whole_syms = 0;
+      dm_min_trials = 0;
+      dm_whole_trials = 0;
+      dm_closure = false;
+      dm_data_ref = false;
+      dm_notes = !notes;
+    }
+
+(* the Table-1 refusals: each data-init mainline patch (custom code
+   stripped) whose initializer image genuinely changes must come back as
+   Data_semantics_changed naming the datum *)
+let dm_persist_rejects base =
+  List.fold_left
+    (fun acc (cve : Cve.t) ->
+      match cve.custom with
+      | Some (Cve.Changes_data_init, _) -> (
+        match
+          Create.create
+            { Create.source = base; patch = Cve.mainline_patch cve base;
+              update_id = cve.id; description = "" }
+        with
+        | Error (Create.Data_semantics_changed ((_, d) :: _))
+          when String.length d > 0 ->
+          acc + 1
+        | _ -> acc)
+      | _ -> acc)
+    0 Cve.all
+
+let diffmin_cves () = Cve.all @ Cve.shadow_extras @ Cve.diff_extras
+
+let run_diffmin ?cves ?progress ?domains () =
+  let cves = match cves with Some l -> l | None -> diffmin_cves () in
+  let base = Base_kernel.tree () in
+  let progress_m = Mutex.create () in
+  let emit line =
+    match progress with
+    | None -> ()
+    | Some f ->
+      Mutex.lock progress_m;
+      f line;
+      Mutex.unlock progress_m
+  in
+  let rows =
+    Parallel.map ?domains
+      (fun (cve : Cve.t) ->
+        let row = run_dmrow cve base in
+        emit
+          (Printf.sprintf "%-14s %5d/%5d B  %3d/%3d trials%s%s%s" row.dm_cve
+             row.dm_min_bytes row.dm_whole_bytes row.dm_min_trials
+             row.dm_whole_trials
+             (if row.dm_closure then " C" else "")
+             (if row.dm_data_ref then " D" else "")
+             (if row.dm_notes = [] then "" else "  VIOLATION"));
+        row)
+      cves
+  in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rows in
+  {
+    dm_rows = rows;
+    dm_bytes_min = sum (fun r -> r.dm_min_bytes);
+    dm_bytes_whole = sum (fun r -> r.dm_whole_bytes);
+    dm_trials_min = sum (fun r -> r.dm_min_trials);
+    dm_trials_whole = sum (fun r -> r.dm_whole_trials);
+    dm_closure_demos =
+      List.length (List.filter (fun r -> r.dm_closure) rows);
+    dm_dataref_demos =
+      List.length (List.filter (fun r -> r.dm_data_ref) rows);
+    dm_persist_rejects = dm_persist_rejects base;
+    dm_violations = sum (fun r -> List.length r.dm_notes);
+  }
+
+let diffmin_ok r =
+  r.dm_violations = 0
+  && r.dm_closure_demos >= 1
+  && r.dm_dataref_demos >= 1
+  && r.dm_persist_rejects >= 1
+  && r.dm_bytes_min < r.dm_bytes_whole
+  && r.dm_trials_min <= r.dm_trials_whole
+
+let pp_diffmin ppf r =
+  Format.fprintf ppf
+    "minimal-differencing sweep: %d rows, function-granular vs \
+     whole-unit@\n@\n"
+    (List.length r.dm_rows);
+  Format.fprintf ppf "%-16s %10s %10s %8s %8s  demo@\n" "cve" "min B"
+    "whole B" "min try" "whole try";
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-16s %10d %10d %8d %8d  %s%s%s@\n" row.dm_cve
+        row.dm_min_bytes row.dm_whole_bytes row.dm_min_trials
+        row.dm_whole_trials
+        (if row.dm_closure then "C" else "-")
+        (if row.dm_data_ref then "D" else "-")
+        (if row.dm_notes = [] then "" else "  VIOLATION"))
+    r.dm_rows;
+  Format.fprintf ppf
+    "@\nbytes: %d minimal vs %d whole-unit (%.0f%% saved)@\n" r.dm_bytes_min
+    r.dm_bytes_whole
+    (100.
+    *. (1. -. (float_of_int r.dm_bytes_min /. float_of_int r.dm_bytes_whole))
+    );
+  Format.fprintf ppf "run-pre trials: %d minimal vs %d whole-unit@\n"
+    r.dm_trials_min r.dm_trials_whole;
+  Format.fprintf ppf
+    "closure demos: %d  data-referent demos: %d  data-init refusals: %d@\n"
+    r.dm_closure_demos r.dm_dataref_demos r.dm_persist_rejects;
+  List.iter
+    (fun row ->
+      List.iter
+        (fun m -> Format.fprintf ppf "VIOLATION %s: %s@\n" row.dm_cve m)
+        row.dm_notes)
+    r.dm_rows;
+  if diffmin_ok r then
+    Format.fprintf ppf
+      "every minimal update applied, verified, stressed clean and blocked \
+       its exploit at a fraction of the whole-unit cost@\n"

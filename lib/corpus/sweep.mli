@@ -358,3 +358,62 @@ val run_cumulative :
 val cumulative_ok : cumulative_report -> bool
 
 val pp_cumulative : Format.formatter -> cumulative_report -> unit
+
+(** {1 The minimal-differencing sweep}
+
+    For every corpus CVE plus the shadow and differencing extras, the
+    update is created twice — function-granular minimal (the default)
+    and whole-unit baseline ([~minimal:false]) — and the minimal one is
+    proven complete: it applies, verifies, survives stress, blocks the
+    CVE's exploit where one is registered, lands a deterministic
+    footprint on twin boots, and every defined symbol of its primary
+    carries an inclusion reason. Alongside, the sweep measures what
+    minimality buys (update bytes, run-pre candidate trials) and counts
+    the engine's qualitative demos: symbols shipped by dependency
+    closure, functions shipped as data referents, and Table-1 data-init
+    mainline patches refused as {!Ksplice.Create.Data_semantics_changed}
+    with the datum named. *)
+
+type dmrow = {
+  dm_cve : string;
+  dm_min_bytes : int;
+  dm_whole_bytes : int;
+  dm_min_syms : int;  (** defined symbols shipped in the minimal primary *)
+  dm_whole_syms : int;
+  dm_min_trials : int;  (** run-pre candidate trials during apply *)
+  dm_whole_trials : int;
+  dm_closure : bool;  (** some symbol shipped by dependency closure *)
+  dm_data_ref : bool;  (** some function shipped as a data referent *)
+  dm_notes : string list;  (** violations; [[]] = row passed *)
+}
+
+type dm_report = {
+  dm_rows : dmrow list;
+  dm_bytes_min : int;
+  dm_bytes_whole : int;
+  dm_trials_min : int;
+  dm_trials_whole : int;
+  dm_closure_demos : int;
+  dm_dataref_demos : int;
+  dm_persist_rejects : int;
+      (** Table-1 mainline patches refused as [Data_semantics_changed] *)
+  dm_violations : int;
+}
+
+(** The default rows: {!Cve.all} plus {!Cve.shadow_extras} plus
+    {!Cve.diff_extras}. *)
+val diffmin_cves : unit -> Cve.t list
+
+val run_diffmin :
+  ?cves:Cve.t list ->
+  ?progress:(string -> unit) ->
+  ?domains:int ->
+  unit ->
+  dm_report
+
+(** No violations, at least one closure / data-referent / refusal demo
+    each, and the minimal updates cost strictly fewer bytes (and no more
+    run-pre trials) than the whole-unit baseline. *)
+val diffmin_ok : dm_report -> bool
+
+val pp_diffmin : Format.formatter -> dm_report -> unit

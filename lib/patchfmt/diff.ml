@@ -370,3 +370,12 @@ let stats (d : t) =
     changed = !added + !removed }
 
 let changed_files (d : t) = List.map (fun fd -> fd.path) d
+
+let file_stats (d : t) path =
+  stats (List.filter (fun fd -> String.equal fd.path path) d)
+
+let file_hunks (d : t) path =
+  List.fold_left
+    (fun acc fd ->
+      if String.equal fd.path path then acc + List.length fd.hunks else acc)
+    0 d

@@ -56,5 +56,13 @@ type stats = {
 
 val stats : t -> stats
 
+(** [file_stats d path] restricts {!stats} to one file of the patch
+    (all-zero when the patch does not touch [path]) — the source-level
+    provenance surfaced per patched unit in [Create.created]. *)
+val file_stats : t -> string -> stats
+
+(** [file_hunks d path] counts the hunks touching [path]. *)
+val file_hunks : t -> string -> int
+
 (** Paths of files the patch touches. *)
 val changed_files : t -> string list

@@ -128,7 +128,7 @@ let test_create_simple () =
       (replace_once ~old_s:"return acc + debug;"
          ~new_s:"return acc + debug + 100;")
   in
-  let { Create.update; diffs } = mk_update ~from:base_tree ~to_ () in
+  let { Create.update; diffs; _ } = mk_update ~from:base_tree ~to_ () in
   let d = List.hd diffs in
   check (Alcotest.list Alcotest.string) "only compute changed" [ "compute" ]
     d.changed_functions;
